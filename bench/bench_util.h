@@ -1,0 +1,36 @@
+// Shared helpers for the experiment harness binaries (one per paper
+// table/figure). These are *report generators*: each prints the rows or
+// series of its artifact so shapes can be compared against the paper.
+#ifndef MOCHY_BENCH_BENCH_UTIL_H_
+#define MOCHY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace mochy::bench {
+
+/// Compact scientific notation like the paper's Table 3 ("9.6E07").
+inline std::string Sci(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1E", value);
+  return buffer;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+/// Experiment scale shared by the harness binaries; override with
+/// MOCHY_BENCH_SCALE to run bigger/smaller reproductions.
+inline double BenchScale(double fallback = 0.25) {
+  const char* env = std::getenv("MOCHY_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  const double parsed = std::atof(env);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+}  // namespace mochy::bench
+
+#endif  // MOCHY_BENCH_BENCH_UTIL_H_

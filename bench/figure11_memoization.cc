@@ -1,0 +1,80 @@
+// Regenerates Figure 11: on-the-fly MoCHy-A+ under different memoization
+// budgets, plus the eviction-policy ablation DESIGN.md calls out.
+//
+// Paper shape to verify: speed rises with the memo budget, and the
+// degree-priority policy beats random and LRU eviction at small budgets
+// ("memoizing 1% of the edges achieves speedups of about 2").
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "hypergraph/lazy_projection.h"
+#include "motif/mochy_aplus.h"
+
+int main() {
+  using namespace mochy;
+  bench::PrintHeader(
+      "Figure 11: on-the-fly MoCHy-A+ memoization budget & policy ablation");
+
+  GeneratorConfig config = DefaultConfig(Domain::kThreads, bench::BenchScale(0.35));
+  config.seed = 5;
+  const Hypergraph graph = GenerateDomainHypergraph(config).value();
+  const ProjectedDegrees degrees = ComputeProjectedDegrees(graph, 2);
+
+  // Estimate the bytes of a full projection to express budgets as a
+  // fraction of the projected graph ("% of edges memoized").
+  uint64_t full_bytes = 0;
+  for (uint32_t d : degrees.degree) {
+    full_bytes += d * sizeof(Neighbor) + 64;
+  }
+  MochyAPlusOptions sampling;
+  sampling.num_samples = std::max<uint64_t>(1, degrees.num_wedges / 10);
+  sampling.seed = 3;
+  std::printf("dataset: |E| = %zu, |wedges| = %llu, full projection ~%.1f MB,"
+              " r = %llu\n",
+              graph.num_edges(),
+              static_cast<unsigned long long>(degrees.num_wedges),
+              full_bytes / 1048576.0,
+              static_cast<unsigned long long>(sampling.num_samples));
+
+  struct PolicyEntry {
+    EvictionPolicy policy;
+    const char* name;
+  };
+  const PolicyEntry policies[] = {
+      {EvictionPolicy::kDegreePriority, "degree"},
+      {EvictionPolicy::kLru, "lru"},
+      {EvictionPolicy::kRandom, "random"},
+  };
+
+  std::printf("\n%9s | %8s | %10s %12s %12s %8s\n", "budget%", "policy",
+              "time(s)", "computes", "hits", "speedup");
+  double base_time = -1.0;
+  for (double percent : {0.0, 0.1, 1.0, 10.0, 100.0}) {
+    for (const PolicyEntry& entry : policies) {
+      LazyProjectionOptions lazy;
+      lazy.memory_budget_bytes =
+          static_cast<uint64_t>(full_bytes * percent / 100.0);
+      lazy.policy = entry.policy;
+      LazyProjection::Stats stats;
+      Timer timer;
+      const MotifCounts counts = CountMotifsWedgeSampleOnTheFly(
+          graph, degrees, sampling, lazy, &stats);
+      (void)counts;
+      const double seconds = timer.Seconds();
+      if (base_time < 0.0) base_time = seconds;
+      std::printf("%8.1f%% | %8s | %10.3f %12llu %12llu %7.2fx\n", percent,
+                  entry.name, seconds,
+                  static_cast<unsigned long long>(stats.computations),
+                  static_cast<unsigned long long>(stats.memo_hits),
+                  base_time / seconds);
+      if (percent == 0.0) break;  // policies are identical at zero budget
+    }
+  }
+  std::printf(
+      "\nshape check: more budget -> fewer recomputations -> faster, with\n"
+      "degree-priority ahead of LRU/random at partial budgets. Note: the\n"
+      "paper's 2x-at-1%% point relies on the extreme projected-degree skew\n"
+      "of threads-ubuntu; our synthetic degree distribution is flatter, so\n"
+      "the same speedup appears at a larger budget (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Regenerates Table 3: per-motif instance counts in one real dataset per
+// domain vs. the mean over 5 Chung-Lu randomizations, with each motif's
+// count rank, rank difference (RD) and relative count (RC).
+//
+// Paper shape to verify: real and random count distributions are clearly
+// different; h-motifs 17/18 (a hyperedge with two disjoint subsets) are
+// drastically over-represented in the *random* hypergraphs.
+#include <array>
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "gen/generators.h"
+#include "motif/mochy_e.h"
+#include "profile/significance.h"
+#include "random/chung_lu.h"
+
+int main() {
+  using namespace mochy;
+  bench::PrintHeader("Table 3: real vs random h-motif counts (RD, RC)");
+
+  const Domain domains[] = {Domain::kCoauthorship, Domain::kContact,
+                            Domain::kEmail, Domain::kTags, Domain::kThreads};
+  for (Domain domain : domains) {
+    GeneratorConfig config = DefaultConfig(domain, bench::BenchScale());
+    config.seed = 21;
+    const Hypergraph graph = GenerateDomainHypergraph(config).value();
+    const MotifCounts real = CountMotifsExact(graph, 2);
+
+    std::vector<MotifCounts> randoms;
+    for (int i = 0; i < 5; ++i) {
+      ChungLuOptions cl;
+      cl.seed = 100 + static_cast<uint64_t>(i);
+      const Hypergraph randomized = GenerateChungLu(graph, cl).value();
+      randoms.push_back(CountMotifsExact(randomized, 2));
+    }
+    const MotifCounts random_mean = MotifCounts::Mean(randoms);
+    const auto real_rank = RankByCount(real);
+    const auto rand_rank = RankByCount(random_mean);
+    const auto rank_diff = RankDifference(real, random_mean);
+    const auto relative = RelativeCounts(real, random_mean);
+
+    std::printf("\n--- %s ---\n", DomainName(domain).c_str());
+    std::printf("%7s %14s %14s %4s %7s\n", "h-motif", "real(rank)",
+                "random(rank)", "RD", "RC");
+    for (int t = 1; t <= kNumHMotifs; ++t) {
+      std::printf("%7d %8s (%2d) %8s (%2d) %4d %+7.2f\n", t,
+                  bench::Sci(real[t]).c_str(), real_rank[t - 1],
+                  bench::Sci(random_mean[t]).c_str(), rand_rank[t - 1],
+                  rank_diff[t - 1], relative[t - 1]);
+    }
+    // Headline observation from Section 4.2: in the paper's real datasets,
+    // h-motifs 17/18 (a hyperedge plus two disjoint subsets) occur far more
+    // often in the *randomized* hypergraphs. With synthetic stand-ins this
+    // direction reproduces for the densest domains (tags; partially email/
+    // coauth) but not for all -- see EXPERIMENTS.md for the analysis.
+    const double rc17 = relative[16], rc18 = relative[17];
+    std::printf("observation: RC(17) = %+.2f, RC(18) = %+.2f "
+                "(paper: strongly negative)\n", rc17, rc18);
+    // The primary Table 3 claim -- real and random count distributions are
+    // clearly distinguished -- is quantified as the mean |RC| and mean RD.
+    double mean_abs_rc = 0.0, mean_rd = 0.0;
+    for (int t = 0; t < kNumHMotifs; ++t) {
+      mean_abs_rc += std::abs(relative[t]) / kNumHMotifs;
+      mean_rd += static_cast<double>(rank_diff[t]) / kNumHMotifs;
+    }
+    std::printf("distinguishability: mean |RC| = %.2f, mean RD = %.1f "
+                "(0 would mean indistinguishable)\n", mean_abs_rc, mean_rd);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Evolution of collaboration structure (paper Section 4.4, Figure 7).
+//
+// Generates yearly co-authorship snapshots and tracks the fraction of each
+// h-motif's instances per year, plus the open/closed split. As in the
+// paper, collaborations become less clustered over time: the open-motif
+// fraction rises.
+//
+//   $ ./build/examples/evolution_analysis
+#include <cstdio>
+
+#include "gen/temporal.h"
+#include "motif/mochy_e.h"
+
+int main() {
+  using namespace mochy;
+
+  TemporalConfig config;
+  config.num_years = 17;  // a compact version of the paper's 33 years
+  config.num_nodes = 900;
+  config.edges_first_year = 250;
+  config.edges_last_year = 700;
+  config.seed = 9;
+  const auto years = GenerateTemporalCoauthorship(config).value();
+
+  std::printf("year  edges  instances  open%%  closed%%  top motifs\n");
+  for (size_t y = 0; y < years.size(); ++y) {
+    const MotifCounts counts = CountMotifsExact(years[y], 2);
+    const double total = counts.Total();
+    const double open = total > 0 ? 100.0 * counts.TotalOpen() / total : 0.0;
+    // Two most frequent motifs this year.
+    int top1 = 1, top2 = 2;
+    for (int t = 1; t <= kNumHMotifs; ++t) {
+      if (counts[t] > counts[top1]) {
+        top2 = top1;
+        top1 = t;
+      } else if (t != top1 && counts[t] > counts[top2]) {
+        top2 = t;
+      }
+    }
+    std::printf("%4zu  %5zu  %9.0f  %5.1f  %6.1f   h%d (%.0f%%), h%d (%.0f%%)\n",
+                1984 + y, years[y].num_edges(), total, open, 100.0 - open,
+                top1, total > 0 ? 100.0 * counts[top1] / total : 0.0, top2,
+                total > 0 ? 100.0 * counts[top2] / total : 0.0);
+  }
+  std::printf("\nAs in Figure 7(b), the open fraction trends upward as\n"
+              "collaborations reach across communities.\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+// mochy_cli — command-line front end over the library, for working with
+// datasets on disk (the Benson et al. text format: one hyperedge per line).
+//
+// Usage:
+//   mochy_cli stats   <file>                      Table 2 statistics
+//   mochy_cli count   <file> [--threads N]        exact counts (MoCHy-E)
+//   mochy_cli sample  <file> [--ratio R] [--seed S] [--threads N]
+//                                                 MoCHy-A+ estimates
+//   mochy_cli profile <file> [--random K] [--seed S] [--threads N]
+//                                                 significance Δt and CP
+//   mochy_cli enumerate <file> [--limit N]        list instances
+//   mochy_cli generate <domain> <file> [--scale X] [--seed S]
+//                                                 write a synthetic dataset
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on I/O or data errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gen/generators.h"
+#include "hypergraph/io.h"
+#include "hypergraph/stats.h"
+#include "motif/enumerate.h"
+#include "motif/mochy_aplus.h"
+#include "motif/mochy_e.h"
+#include "profile/significance.h"
+
+namespace {
+
+using namespace mochy;
+
+struct Flags {
+  double ratio = 0.05;
+  uint64_t seed = 1;
+  size_t threads = 1;
+  int random_graphs = 5;
+  size_t limit = 50;
+  double scale = 0.25;
+};
+
+/// Parses trailing --key value flags; returns false on unknown flags.
+bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
+  for (int i = first; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", key.c_str());
+      return false;
+    }
+    const char* value = argv[i + 1];
+    if (key == "--ratio") {
+      flags->ratio = std::atof(value);
+    } else if (key == "--seed") {
+      flags->seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (key == "--threads") {
+      flags->threads = static_cast<size_t>(std::atoll(value));
+    } else if (key == "--random") {
+      flags->random_graphs = std::atoi(value);
+    } else if (key == "--limit") {
+      flags->limit = static_cast<size_t>(std::atoll(value));
+    } else if (key == "--scale") {
+      flags->scale = std::atof(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mochy_cli <stats|count|sample|profile|enumerate> "
+               "<file> [flags]\n"
+               "       mochy_cli generate <coauth|contact|email|tags|threads>"
+               " <file> [flags]\n");
+  return 1;
+}
+
+Result<Hypergraph> Load(const char* path) { return LoadHypergraph(path); }
+
+int RunStats(const Hypergraph& graph, const Flags& flags) {
+  const DatasetStats stats = ComputeStats(graph, flags.threads);
+  std::printf("%-18s %9s %9s %6s %6s %12s %9s\n", "dataset", "|V|", "|E|",
+              "max|e|", "avg|e|", "|wedges|", "maxdeg");
+  std::printf("%s\n", FormatStatsRow("(input)", stats).c_str());
+  return 0;
+}
+
+int RunCount(const Hypergraph& graph, const Flags& flags) {
+  const MotifCounts counts = CountMotifsExact(graph, flags.threads);
+  std::printf("%s", counts.ToString().c_str());
+  std::printf("total: %.0f (open %.0f, closed %.0f)\n", counts.Total(),
+              counts.TotalOpen(), counts.TotalClosed());
+  return 0;
+}
+
+int RunSample(const Hypergraph& graph, const Flags& flags) {
+  auto projection = ProjectedGraph::Build(graph, flags.threads);
+  if (!projection.ok()) {
+    std::fprintf(stderr, "%s\n", projection.status().ToString().c_str());
+    return 2;
+  }
+  MochyAPlusOptions options;
+  options.num_samples = std::max<uint64_t>(
+      1, static_cast<uint64_t>(flags.ratio *
+                               static_cast<double>(
+                                   projection.value().num_wedges())));
+  options.seed = flags.seed;
+  options.num_threads = flags.threads;
+  const MotifCounts counts =
+      CountMotifsWedgeSample(graph, projection.value(), options);
+  std::printf("MoCHy-A+ with r = %llu (%.2f%% of %llu wedges)\n",
+              static_cast<unsigned long long>(options.num_samples),
+              100.0 * flags.ratio,
+              static_cast<unsigned long long>(
+                  projection.value().num_wedges()));
+  std::printf("%s", counts.ToString().c_str());
+  return 0;
+}
+
+int RunProfile(const Hypergraph& graph, const Flags& flags) {
+  CharacteristicProfileOptions options;
+  options.num_random_graphs = flags.random_graphs;
+  options.seed = flags.seed;
+  options.num_threads = flags.threads;
+  auto profile = ComputeCharacteristicProfile(graph, options);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%7s %12s %12s %8s %8s\n", "h-motif", "real", "random",
+              "delta", "CP");
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    std::printf("%7d %12.4g %12.4g %+8.3f %+8.3f\n", t,
+                profile.value().real_counts[t],
+                profile.value().random_mean[t], profile.value().delta[t - 1],
+                profile.value().cp[t - 1]);
+  }
+  return 0;
+}
+
+int RunEnumerate(const Hypergraph& graph, const Flags& flags) {
+  auto projection = ProjectedGraph::Build(graph, flags.threads);
+  if (!projection.ok()) {
+    std::fprintf(stderr, "%s\n", projection.status().ToString().c_str());
+    return 2;
+  }
+  size_t printed = 0;
+  EnumerateInstances(graph, projection.value(),
+                     [&](const MotifInstance& inst) {
+                       if (printed >= flags.limit) return;
+                       ++printed;
+                       std::printf("{%u, %u, %u} -> h-motif %d\n", inst.i,
+                                   inst.j, inst.k, inst.motif);
+                     });
+  std::printf("(printed %zu instances; --limit to change)\n", printed);
+  return 0;
+}
+
+int RunGenerate(const char* domain_name, const char* path,
+                const Flags& flags) {
+  Domain domain;
+  const std::string name = domain_name;
+  if (name == "coauth") {
+    domain = Domain::kCoauthorship;
+  } else if (name == "contact") {
+    domain = Domain::kContact;
+  } else if (name == "email") {
+    domain = Domain::kEmail;
+  } else if (name == "tags") {
+    domain = Domain::kTags;
+  } else if (name == "threads") {
+    domain = Domain::kThreads;
+  } else {
+    std::fprintf(stderr, "unknown domain '%s'\n", domain_name);
+    return 1;
+  }
+  GeneratorConfig config = DefaultConfig(domain, flags.scale);
+  config.seed = flags.seed;
+  auto graph = GenerateDomainHypergraph(config);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  if (Status s = SaveHypergraph(graph.value(), path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %zu edges over %zu nodes to %s\n",
+              graph.value().num_edges(), graph.value().num_nodes(), path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+
+  if (command == "generate") {
+    if (argc < 4 || !ParseFlags(argc, argv, 4, &flags)) return Usage();
+    return RunGenerate(argv[2], argv[3], flags);
+  }
+  if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
+  auto graph = Load(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  if (command == "stats") return RunStats(graph.value(), flags);
+  if (command == "count") return RunCount(graph.value(), flags);
+  if (command == "sample") return RunSample(graph.value(), flags);
+  if (command == "profile") return RunProfile(graph.value(), flags);
+  if (command == "enumerate") return RunEnumerate(graph.value(), flags);
+  return Usage();
+}

@@ -1,0 +1,60 @@
+#include "baseline/bipartite.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mochy {
+
+Graph Graph::FromEdges(size_t num_nodes,
+                       std::vector<std::pair<uint32_t, uint32_t>> edges) {
+  // Normalize: undirected (u < v), no self loops, no duplicates.
+  for (auto& [u, v] : edges) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const auto& e) { return e.first == e.second; }),
+              edges.end());
+
+  Graph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const auto& [u, v] : edges) {
+    MOCHY_CHECK(v < num_nodes) << "edge endpoint out of range";
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (size_t i = 0; i < num_nodes; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adjacency_.resize(edges.size() * 2);
+  std::vector<uint64_t> fill(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[fill[u]++] = v;
+    g.adjacency_[fill[v]++] = u;
+  }
+  for (size_t v = 0; v < num_nodes; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+bool Graph::HasEdge(uint32_t u, uint32_t v) const {
+  const auto span = neighbors(u);
+  return std::binary_search(span.begin(), span.end(), v);
+}
+
+Graph StarExpansion(const Hypergraph& hypergraph) {
+  const size_t n = hypergraph.num_nodes();
+  const size_t m = hypergraph.num_edges();
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(hypergraph.num_pins());
+  for (EdgeId e = 0; e < m; ++e) {
+    for (NodeId v : hypergraph.edge(e)) {
+      edges.emplace_back(v, static_cast<uint32_t>(n + e));
+    }
+  }
+  return Graph::FromEdges(n + m, std::move(edges));
+}
+
+}  // namespace mochy

@@ -1,0 +1,53 @@
+// Plain undirected graphs and the star expansion of a hypergraph.
+//
+// The paper's baseline (Figure 6b) computes characteristic profiles from
+// *network* motifs on the bipartite star expansion: node set V ∪ E with an
+// edge (v, e) iff v ∈ e. This module provides the graph container that the
+// graphlet census (graphlet.h) runs on.
+#ifndef MOCHY_BASELINE_BIPARTITE_H_
+#define MOCHY_BASELINE_BIPARTITE_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+/// Immutable simple undirected graph in CSR form (sorted adjacency).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list; duplicate edges and self-loops are dropped.
+  static Graph FromEdges(size_t num_nodes,
+                         std::vector<std::pair<uint32_t, uint32_t>> edges);
+
+  size_t num_nodes() const { return offsets_.size() - 1; }
+  size_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::span<const uint32_t> neighbors(uint32_t v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  size_t degree(uint32_t v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// O(log degree) membership test.
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+ private:
+  std::vector<uint64_t> offsets_ = {0};
+  std::vector<uint32_t> adjacency_;
+};
+
+/// Star expansion: graph nodes 0..|V|-1 are hypergraph nodes, nodes
+/// |V|..|V|+|E|-1 are hyperedges, with a graph edge per pin.
+Graph StarExpansion(const Hypergraph& hypergraph);
+
+}  // namespace mochy
+
+#endif  // MOCHY_BASELINE_BIPARTITE_H_

@@ -1,0 +1,218 @@
+#include "baseline/graphlet.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mochy {
+
+namespace {
+
+inline int PairBit(int i, int j) {
+  if (i > j) std::swap(i, j);
+  return j * (j - 1) / 2 + i;
+}
+
+bool MaskConnected(int k, uint32_t mask) {
+  uint32_t visited = 1;  // node 0
+  uint32_t frontier = 1;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    for (int i = 0; i < k; ++i) {
+      if (!(frontier & (1u << i))) continue;
+      for (int j = 0; j < k; ++j) {
+        if (i == j || (visited & (1u << j))) continue;
+        if (mask & (1u << PairBit(i, j))) next |= 1u << j;
+      }
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == (1u << k) - 1;
+}
+
+}  // namespace
+
+uint32_t CanonicalGraphletCode(int k, uint32_t mask) {
+  MOCHY_CHECK(k >= 2 && k <= 5);
+  std::array<int, 5> perm{};
+  std::iota(perm.begin(), perm.begin() + k, 0);
+  uint32_t best = ~0u;
+  do {
+    uint32_t mapped = 0;
+    for (int i = 0; i < k; ++i) {
+      for (int j = i + 1; j < k; ++j) {
+        if (mask & (1u << PairBit(i, j))) {
+          mapped |= 1u << PairBit(perm[i], perm[j]);
+        }
+      }
+    }
+    best = std::min(best, mapped);
+  } while (std::next_permutation(perm.begin(), perm.begin() + k));
+  return best;
+}
+
+GraphletRegistry::GraphletRegistry() {
+  for (int k = 3; k <= 5; ++k) {
+    std::set<uint32_t> canon;
+    const uint32_t all = 1u << (k * (k - 1) / 2);
+    for (uint32_t mask = 0; mask < all; ++mask) {
+      if (!MaskConnected(k, mask)) continue;
+      canon.insert(CanonicalGraphletCode(k, mask));
+    }
+    classes_[k].assign(canon.begin(), canon.end());
+  }
+  MOCHY_CHECK(classes_[3].size() == 2);
+  MOCHY_CHECK(classes_[4].size() == 6);
+  MOCHY_CHECK(classes_[5].size() == 21);
+}
+
+const GraphletRegistry& GraphletRegistry::Get() {
+  static const GraphletRegistry registry;
+  return registry;
+}
+
+int GraphletRegistry::NumClasses(int k) const {
+  MOCHY_CHECK(k >= 3 && k <= 5);
+  return static_cast<int>(classes_[k].size());
+}
+
+int GraphletRegistry::ClassOf(int k, uint32_t canonical_code) const {
+  MOCHY_CHECK(k >= 3 && k <= 5);
+  const auto& codes = classes_[k];
+  const auto it =
+      std::lower_bound(codes.begin(), codes.end(), canonical_code);
+  if (it == codes.end() || *it != canonical_code) return -1;
+  return static_cast<int>(it - codes.begin());
+}
+
+uint32_t GraphletRegistry::CodeOf(int k, int index) const {
+  MOCHY_CHECK(k >= 3 && k <= 5);
+  MOCHY_CHECK(index >= 0 && index < NumClasses(k));
+  return classes_[k][static_cast<size_t>(index)];
+}
+
+namespace {
+
+/// One (RAND-)ESU run for a fixed subgraph size k.
+class EsuRunner {
+ public:
+  EsuRunner(const Graph& graph, int k, double probability, Rng rng,
+            std::vector<double>* counts)
+      : graph_(graph),
+        k_(k),
+        probability_(probability),
+        rng_(rng),
+        counts_(counts),
+        in_closure_(graph.num_nodes(), 0) {
+    weight_ = 1.0;
+    for (int d = 1; d < k; ++d) weight_ /= probability_;
+    sub_.reserve(k);
+  }
+
+  void Run() {
+    for (uint32_t v = 0; v < graph_.num_nodes(); ++v) {
+      sub_.clear();
+      sub_.push_back(v);
+      ++in_closure_[v];
+      for (uint32_t u : graph_.neighbors(v)) ++in_closure_[u];
+      std::vector<uint32_t> ext;
+      for (uint32_t u : graph_.neighbors(v)) {
+        if (u > v) ext.push_back(u);
+      }
+      Extend(ext, v);
+      --in_closure_[v];
+      for (uint32_t u : graph_.neighbors(v)) --in_closure_[u];
+    }
+  }
+
+ private:
+  void Record() {
+    uint32_t mask = 0;
+    for (size_t i = 0; i < sub_.size(); ++i) {
+      for (size_t j = i + 1; j < sub_.size(); ++j) {
+        if (graph_.HasEdge(sub_[i], sub_[j])) {
+          mask |= 1u << PairBit(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
+    }
+    const int cls =
+        GraphletRegistry::Get().ClassOf(k_, CanonicalGraphletCode(k_, mask));
+    MOCHY_DCHECK(cls >= 0) << "enumerated subgraph not connected?";
+    (*counts_)[static_cast<size_t>(cls)] += weight_;
+  }
+
+  void Extend(std::vector<uint32_t>& ext, uint32_t root) {
+    if (static_cast<int>(sub_.size()) == k_) {
+      Record();
+      return;
+    }
+    while (!ext.empty()) {
+      const uint32_t w = ext.back();
+      ext.pop_back();
+      if (probability_ < 1.0 && !rng_.Bernoulli(probability_)) continue;
+      // Exclusive neighborhood of w: nodes > root not already in the
+      // closure (sub ∪ N(sub)).
+      std::vector<uint32_t> next = ext;
+      for (uint32_t u : graph_.neighbors(w)) {
+        if (u > root && in_closure_[u] == 0) next.push_back(u);
+      }
+      sub_.push_back(w);
+      ++in_closure_[w];
+      for (uint32_t u : graph_.neighbors(w)) ++in_closure_[u];
+      Extend(next, root);
+      --in_closure_[w];
+      for (uint32_t u : graph_.neighbors(w)) --in_closure_[u];
+      sub_.pop_back();
+    }
+  }
+
+  const Graph& graph_;
+  const int k_;
+  const double probability_;
+  Rng rng_;
+  std::vector<double>* counts_;
+  std::vector<uint32_t> in_closure_;
+  std::vector<uint32_t> sub_;
+  double weight_;
+};
+
+}  // namespace
+
+std::vector<double> GraphletCensus::Flatten(int min_size, int max_size) const {
+  std::vector<double> out;
+  for (int k = min_size; k <= max_size; ++k) {
+    const auto& c = counts[k - 3];
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+Result<GraphletCensus> CountGraphlets(const Graph& graph,
+                                      const GraphletCensusOptions& options) {
+  if (options.min_size < 3 || options.max_size > 5 ||
+      options.min_size > options.max_size) {
+    return Status::InvalidArgument("graphlet sizes must satisfy 3<=min<=max<=5");
+  }
+  if (options.sample_probability <= 0.0 ||
+      options.sample_probability > 1.0) {
+    return Status::InvalidArgument("sample_probability must be in (0, 1]");
+  }
+  GraphletCensus census;
+  const GraphletRegistry& registry = GraphletRegistry::Get();
+  for (int k = 3; k <= 5; ++k) {
+    census.counts[k - 3].assign(registry.NumClasses(k), 0.0);
+  }
+  Rng rng(options.seed);
+  for (int k = options.min_size; k <= options.max_size; ++k) {
+    EsuRunner runner(graph, k, options.sample_probability, rng.Fork(k),
+                     &census.counts[k - 3]);
+    runner.Run();
+  }
+  return census;
+}
+
+}  // namespace mochy

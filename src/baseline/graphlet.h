@@ -1,0 +1,71 @@
+// Network-motif (graphlet) census via the ESU / RAND-ESU algorithm
+// (Wernicke's FANMOD enumeration), used by the Figure 6b baseline in place
+// of the paper's Motivo.
+//
+// A "graphlet class" is an isomorphism class of connected graphs on k
+// nodes (2 classes for k=3, 6 for k=4, 21 for k=5). Class indices are
+// stable: classes are sorted by canonical adjacency code, so counts are
+// comparable across graphs and runs.
+#ifndef MOCHY_BASELINE_GRAPHLET_H_
+#define MOCHY_BASELINE_GRAPHLET_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "baseline/bipartite.h"
+#include "common/status.h"
+
+namespace mochy {
+
+/// Canonical form of a k-node graph given as an upper-triangle adjacency
+/// bitmask (bit index of pair (i,j), i<j, is j*(j-1)/2 + i): the minimum
+/// mask over all k! node permutations. k in [2, 5].
+uint32_t CanonicalGraphletCode(int k, uint32_t mask);
+
+/// Registry of connected graphlet classes per size.
+class GraphletRegistry {
+ public:
+  /// Singleton; built once by exhaustive enumeration.
+  static const GraphletRegistry& Get();
+
+  /// Number of connected isomorphism classes for size k in [3, 5].
+  int NumClasses(int k) const;
+
+  /// Class index in [0, NumClasses(k)) of a *connected* canonical code;
+  /// -1 for codes that are not connected classes.
+  int ClassOf(int k, uint32_t canonical_code) const;
+
+  /// Canonical code of class `index` of size k.
+  uint32_t CodeOf(int k, int index) const;
+
+ private:
+  GraphletRegistry();
+  std::array<std::vector<uint32_t>, 6> classes_;  // indexed by k
+};
+
+struct GraphletCensusOptions {
+  int min_size = 3;
+  int max_size = 4;  ///< up to 5; exact 5-node census can be expensive
+  /// RAND-ESU exploration probability per tree depth; 1.0 = exact ESU.
+  /// The census is rescaled to unbiased estimates when < 1.0.
+  double sample_probability = 1.0;
+  uint64_t seed = 1;
+};
+
+/// counts[k - 3][class] = (estimated) number of connected induced
+/// subgraphs of size k in that isomorphism class.
+struct GraphletCensus {
+  std::array<std::vector<double>, 3> counts;  // sizes 3, 4, 5
+
+  /// Flattens sizes [min_size, max_size] into one vector (CP input).
+  std::vector<double> Flatten(int min_size, int max_size) const;
+};
+
+/// Runs (RAND-)ESU on `graph` for every size in [min_size, max_size].
+Result<GraphletCensus> CountGraphlets(const Graph& graph,
+                                      const GraphletCensusOptions& options = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_BASELINE_GRAPHLET_H_

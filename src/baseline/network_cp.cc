@@ -1,0 +1,51 @@
+#include "baseline/network_cp.h"
+
+#include <cmath>
+
+#include "baseline/bipartite.h"
+#include "random/chung_lu.h"
+
+namespace mochy {
+
+Result<std::vector<double>> ComputeNetworkMotifCP(
+    const Hypergraph& graph, const NetworkCpOptions& options) {
+  if (options.num_random_graphs <= 0) {
+    return Status::InvalidArgument("need at least one random graph");
+  }
+  const Graph real = StarExpansion(graph);
+  MOCHY_ASSIGN_OR_RETURN(GraphletCensus real_census,
+                         CountGraphlets(real, options.census));
+  const std::vector<double> real_counts =
+      real_census.Flatten(options.census.min_size, options.census.max_size);
+
+  std::vector<double> random_mean(real_counts.size(), 0.0);
+  for (int i = 0; i < options.num_random_graphs; ++i) {
+    ChungLuOptions cl;
+    cl.seed = options.seed + 0x9e3779b9u * static_cast<uint64_t>(i + 1);
+    MOCHY_ASSIGN_OR_RETURN(Hypergraph randomized, GenerateChungLu(graph, cl));
+    GraphletCensusOptions census = options.census;
+    census.seed = cl.seed ^ 0xabcdef12u;
+    MOCHY_ASSIGN_OR_RETURN(GraphletCensus sample,
+                           CountGraphlets(StarExpansion(randomized), census));
+    const std::vector<double> counts =
+        sample.Flatten(options.census.min_size, options.census.max_size);
+    for (size_t c = 0; c < counts.size(); ++c) {
+      random_mean[c] += counts[c] / options.num_random_graphs;
+    }
+  }
+
+  std::vector<double> delta(real_counts.size(), 0.0);
+  double sum_sq = 0.0;
+  for (size_t c = 0; c < real_counts.size(); ++c) {
+    delta[c] = (real_counts[c] - random_mean[c]) /
+               (real_counts[c] + random_mean[c] + options.epsilon);
+    sum_sq += delta[c] * delta[c];
+  }
+  if (sum_sq > 0.0) {
+    const double norm = std::sqrt(sum_sq);
+    for (double& d : delta) d /= norm;
+  }
+  return delta;
+}
+
+}  // namespace mochy

@@ -1,0 +1,35 @@
+// Characteristic profiles from *network* motifs (paper Figure 6b).
+//
+// The hypergraph is star-expanded into a bipartite graph; connected
+// 3/4/5-node network motifs are censused (ESU) in the real graph and in
+// Chung-Lu randomizations; significances are normalized exactly like the
+// h-motif CP. The paper shows this baseline separates domains much more
+// weakly than h-motif CPs (gap 0.069 vs 0.324).
+#ifndef MOCHY_BASELINE_NETWORK_CP_H_
+#define MOCHY_BASELINE_NETWORK_CP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/graphlet.h"
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+struct NetworkCpOptions {
+  GraphletCensusOptions census;  ///< sizes and (optional) sampling
+  int num_random_graphs = 5;
+  uint64_t seed = 1;
+  double epsilon = 1.0;
+};
+
+/// Normalized significance vector over all network-motif classes of the
+/// configured sizes. Dimensionality is fixed by the sizes (e.g. 2+6=8 for
+/// sizes 3-4), so vectors are comparable across hypergraphs.
+Result<std::vector<double>> ComputeNetworkMotifCP(
+    const Hypergraph& graph, const NetworkCpOptions& options = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_BASELINE_NETWORK_CP_H_

@@ -1,0 +1,62 @@
+#include "common/alias_table.h"
+
+#include "common/logging.h"
+
+namespace mochy {
+
+Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasTable: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("AliasTable: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("AliasTable: total weight is zero");
+  }
+
+  const size_t n = weights.size();
+  AliasTable table;
+  table.total_weight_ = total;
+  table.prob_.assign(n, 0.0);
+  table.alias_.assign(n, 0);
+
+  // Vose's stable two-worklist construction.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    table.prob_[s] = scaled[s];
+    table.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are all (approximately) probability 1.
+  for (uint32_t i : large) table.prob_[i] = 1.0;
+  for (uint32_t i : small) table.prob_[i] = 1.0;
+  return table;
+}
+
+uint64_t AliasTable::Sample(Rng& rng) const {
+  MOCHY_DCHECK(!prob_.empty());
+  const uint64_t bucket = rng.UniformInt(prob_.size());
+  if (rng.UniformDouble() < prob_[bucket]) return bucket;
+  return alias_[bucket];
+}
+
+}  // namespace mochy

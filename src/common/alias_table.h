@@ -1,0 +1,40 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete
+// distribution after O(n) construction. Used by the Chung-Lu null model
+// (sampling nodes proportional to degree) and by the synthetic generators.
+#ifndef MOCHY_COMMON_ALIAS_TABLE_H_
+#define MOCHY_COMMON_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mochy {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights. Fails on an empty vector,
+  /// a negative weight, or an all-zero total.
+  static Result<AliasTable> Build(const std::vector<double>& weights);
+
+  /// Number of categories.
+  size_t size() const { return prob_.size(); }
+
+  /// Draws one index with probability proportional to its weight.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Total weight the table was built from.
+  double total_weight() const { return total_weight_; }
+
+ private:
+  std::vector<double> prob_;    // acceptance probability per bucket
+  std::vector<uint32_t> alias_;  // fallback category per bucket
+  double total_weight_ = 0.0;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_ALIAS_TABLE_H_

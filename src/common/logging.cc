@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mochy {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+void Emit(LogLevel level, const std::string& text) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%8.3f %s] %s\n", secs, LevelTag(level), text.c_str());
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >=
+      g_min_level.load(std::memory_order_relaxed)) {
+    Emit(level_, stream_.str());
+  }
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  Emit(LogLevel::kError, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mochy

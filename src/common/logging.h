@@ -1,0 +1,79 @@
+// Minimal leveled logging plus CHECK-style invariant assertions.
+//
+// Logging is for coarse progress reporting in benches and examples; the hot
+// counting kernels never log. MOCHY_CHECK aborts on violated invariants in
+// all build types; MOCHY_DCHECK compiles out in NDEBUG builds.
+#ifndef MOCHY_COMMON_LOGGING_H_
+#define MOCHY_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mochy {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that is emitted. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level tag and timestamp) on
+/// destruction. Not for direct use; see MOCHY_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message and aborts. Used by MOCHY_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MOCHY_LOG(level)                                              \
+  ::mochy::internal::LogMessage(::mochy::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#define MOCHY_CHECK(cond)                                          \
+  if (!(cond))                                                     \
+  ::mochy::internal::FatalMessage(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define MOCHY_DCHECK(cond) \
+  if (false) ::mochy::internal::FatalMessage(__FILE__, __LINE__, #cond)
+#else
+#define MOCHY_DCHECK(cond) MOCHY_CHECK(cond)
+#endif
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_LOGGING_H_

@@ -1,0 +1,61 @@
+#include "common/parallel.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace mochy {
+
+size_t DefaultThreadCount() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void ParallelBlocks(
+    size_t n, size_t num_threads,
+    const std::function<void(size_t thread, size_t begin, size_t end)>& fn) {
+  if (num_threads == 0) num_threads = 1;
+  if (num_threads > n && n > 0) num_threads = n;
+  if (num_threads <= 1 || n == 0) {
+    fn(0, 0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  const size_t base = n / num_threads;
+  const size_t extra = n % num_threads;
+  size_t begin = 0;
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t len = base + (t < extra ? 1 : 0);
+    const size_t end = begin + len;
+    threads.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+    begin = end;
+  }
+  MOCHY_DCHECK(begin == n);
+  for (auto& th : threads) th.join();
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t i)>& fn, size_t chunk) {
+  if (num_threads == 0) num_threads = 1;
+  if (chunk == 0) chunk = 1;
+  if (num_threads <= 1 || n <= chunk) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const size_t end = begin + chunk < n ? begin + chunk : n;
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace mochy

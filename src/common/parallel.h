@@ -1,0 +1,36 @@
+// ParallelFor: static range partitioning over a fresh set of threads.
+//
+// All parallel algorithms in this library are "embarrassingly parallel over
+// a range plus a final merge" (paper Section 3.4), so a simple blocked
+// ParallelFor with per-thread state is all we need. Thread count 1 executes
+// inline, which keeps single-threaded runs deterministic and cheap.
+#ifndef MOCHY_COMMON_PARALLEL_H_
+#define MOCHY_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mochy {
+
+/// Hardware concurrency, at least 1.
+size_t DefaultThreadCount();
+
+/// Runs fn(thread_index, begin, end) on `num_threads` threads, where
+/// [begin, end) are disjoint contiguous blocks covering [0, n). Blocks are
+/// balanced to within one element. Blocking call.
+void ParallelBlocks(
+    size_t n, size_t num_threads,
+    const std::function<void(size_t thread, size_t begin, size_t end)>& fn);
+
+/// Runs fn(i) for all i in [0, n), dynamically chunked so uneven work per
+/// element (e.g. skewed hyperedge degrees) still balances. Blocking call.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t i)>& fn,
+                 size_t chunk = 64);
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_PARALLEL_H_

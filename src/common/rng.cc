@@ -1,0 +1,172 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mochy {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64Next(sm);
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  MOCHY_DCHECK(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  MOCHY_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+uint64_t Rng::Geometric(double p) {
+  MOCHY_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = 0.0;
+  do {
+    u = UniformDouble();
+  } while (u <= 1e-300);
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+uint64_t Rng::Poisson(double mean) {
+  MOCHY_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double prod = UniformDouble();
+    while (prod > limit) {
+      ++k;
+      prod *= UniformDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double sample = mean + std::sqrt(mean) * Normal() + 0.5;
+  return sample <= 0.0 ? 0 : static_cast<uint64_t>(sample);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double alpha) {
+  MOCHY_DCHECK(n > 0);
+  if (n == 1) return 0;
+  if (alpha <= 0.0) return UniformInt(n);
+  // Rejection-inversion (Hormann & Derflinger) over ranks 1..n.
+  const double one_minus_a = 1.0 - alpha;
+  auto h_integral = [&](double x) {
+    if (std::abs(one_minus_a) < 1e-12) return std::log(x);
+    return (std::pow(x, one_minus_a) - 1.0) / one_minus_a;
+  };
+  auto h_integral_inv = [&](double y) {
+    if (std::abs(one_minus_a) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + y * one_minus_a, 1.0 / one_minus_a);
+  };
+  const double hx0 = h_integral(0.5) - 1.0;
+  const double hxn = h_integral(static_cast<double>(n) + 0.5);
+  while (true) {
+    const double u = hx0 + UniformDouble() * (hxn - hx0);
+    const double x = h_integral_inv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    // Accept with probability proportional to k^-alpha over the envelope.
+    if (u >= h_integral(kd + 0.5) - std::pow(kd, -alpha) ||
+        u >= h_integral(kd - 0.5)) {
+      return k - 1;
+    }
+  }
+}
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t n, uint64_t k) {
+  MOCHY_CHECK(k <= n) << "cannot sample " << k << " distinct of " << n;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  // Robert Floyd's algorithm: O(k) expected, no O(n) scratch.
+  for (uint64_t j = n - k; j < n; ++j) {
+    const uint64_t t = UniformInt(j + 1);
+    bool seen = false;
+    for (uint64_t x : out) {
+      if (x == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t index) const {
+  uint64_t mix = seed_;
+  SplitMix64Next(mix);
+  mix ^= 0x632be59bd9b4e019ULL + index * 0x9e3779b97f4a7c15ULL;
+  return Rng(SplitMix64Next(mix));
+}
+
+}  // namespace mochy

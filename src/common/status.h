@@ -1,0 +1,137 @@
+// Status / Result error model for fallible API boundaries.
+//
+// Follows the Arrow / RocksDB idiom: functions that can fail return a
+// `Status` (or a `Result<T>` when they also produce a value) instead of
+// throwing. Hot internal paths use MOCHY_DCHECK-style assertions instead.
+#ifndef MOCHY_COMMON_STATUS_H_
+#define MOCHY_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mochy {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); failures carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// failed Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+/// Propagates a non-OK status out of the calling function.
+#define MOCHY_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::mochy::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns the value of a Result to `lhs`, or returns its error.
+#define MOCHY_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto MOCHY_CONCAT_(_res, __LINE__) = (expr);                   \
+  if (!MOCHY_CONCAT_(_res, __LINE__).ok())                       \
+    return MOCHY_CONCAT_(_res, __LINE__).status();               \
+  lhs = std::move(MOCHY_CONCAT_(_res, __LINE__)).value()
+
+#define MOCHY_CONCAT_IMPL_(a, b) a##b
+#define MOCHY_CONCAT_(a, b) MOCHY_CONCAT_IMPL_(a, b)
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_STATUS_H_

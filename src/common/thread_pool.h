@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the parallel MoCHy variants.
+//
+// Tasks are arbitrary callables; Submit() is thread-safe. The pool exists
+// for the library's ParallelFor (see parallel.h), which is how Algorithm 1,
+// MoCHy-E and the samplers parallelize over hyperedges / samples
+// (Section 3.4 of the paper).
+#ifndef MOCHY_COMMON_THREAD_POOL_H_
+#define MOCHY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mochy {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for the experiment harness (Figures 8, 10, 11).
+#ifndef MOCHY_COMMON_TIMER_H_
+#define MOCHY_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mochy {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_TIMER_H_

@@ -1,0 +1,49 @@
+#include "gen/perturb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace mochy {
+
+Result<std::vector<std::vector<NodeId>>> MakeFakeHyperedges(
+    const Hypergraph& graph, const PerturbOptions& options) {
+  if (options.replace_fraction < 0.0 || options.replace_fraction > 1.0) {
+    return Status::InvalidArgument("replace_fraction must be in [0, 1]");
+  }
+  if (graph.num_nodes() < graph.max_edge_size() + 1) {
+    return Status::FailedPrecondition(
+        "not enough nodes to perturb the largest edge");
+  }
+  Rng rng(options.seed);
+  std::vector<std::vector<NodeId>> fakes(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto span = graph.edge(e);
+    std::vector<NodeId> members(span.begin(), span.end());
+    const size_t replace = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::llround(options.replace_fraction *
+                            static_cast<double>(members.size()))));
+    // Choose victim positions.
+    const auto victims =
+        rng.SampleDistinct(members.size(), std::min(replace, members.size()));
+    std::unordered_set<NodeId> present(members.begin(), members.end());
+    for (uint64_t pos : victims) {
+      // Replacement: a uniformly random node not currently in the edge.
+      NodeId candidate;
+      do {
+        candidate = static_cast<NodeId>(rng.UniformInt(graph.num_nodes()));
+      } while (present.count(candidate) > 0);
+      present.erase(members[pos]);
+      present.insert(candidate);
+      members[pos] = candidate;
+    }
+    std::sort(members.begin(), members.end());
+    fakes[e] = std::move(members);
+  }
+  return fakes;
+}
+
+}  // namespace mochy

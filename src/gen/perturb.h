@@ -1,0 +1,32 @@
+// Fake-hyperedge generation for the hyperedge-prediction case study
+// (paper Section 4.4, Table 4; following Yoon et al.'s setup).
+//
+// For each real hyperedge, a fake counterpart replaces a fraction of its
+// members with random non-member nodes. Classifiers are then trained to
+// separate real from fake edges.
+#ifndef MOCHY_GEN_PERTURB_H_
+#define MOCHY_GEN_PERTURB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+struct PerturbOptions {
+  /// Fraction of members replaced per fake edge (at least one member).
+  double replace_fraction = 0.5;
+  uint64_t seed = 1;
+};
+
+/// One fake edge per hyperedge of `graph`: result[e] is the perturbed
+/// member set of edge e. Fails when the node population is too small to
+/// supply replacement nodes.
+Result<std::vector<std::vector<NodeId>>> MakeFakeHyperedges(
+    const Hypergraph& graph, const PerturbOptions& options = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_GEN_PERTURB_H_

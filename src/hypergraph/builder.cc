@@ -1,0 +1,104 @@
+#include "hypergraph/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mochy {
+
+void HypergraphBuilder::AddEdge(std::span<const NodeId> nodes) {
+  pool_.insert(pool_.end(), nodes.begin(), nodes.end());
+  sizes_.push_back(static_cast<uint32_t>(nodes.size()));
+}
+
+void HypergraphBuilder::AddEdge(std::initializer_list<NodeId> nodes) {
+  AddEdge(std::span<const NodeId>(nodes.begin(), nodes.size()));
+}
+
+Result<Hypergraph> HypergraphBuilder::Build(const BuildOptions& options) && {
+  Hypergraph graph;
+  graph.edge_offsets_.clear();
+  graph.edge_offsets_.push_back(0);
+  graph.edge_nodes_.reserve(pool_.size());
+
+  // Duplicate detection: hash of sorted members -> candidate edge ids.
+  std::unordered_map<uint64_t, std::vector<EdgeId>> seen;
+  if (options.dedup_edges) seen.reserve(sizes_.size() * 2);
+
+  std::vector<NodeId> scratch;
+  size_t cursor = 0;
+  NodeId max_node = 0;
+  bool any_node = false;
+  for (uint32_t raw_size : sizes_) {
+    scratch.assign(pool_.begin() + cursor, pool_.begin() + cursor + raw_size);
+    cursor += raw_size;
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    if (scratch.empty()) {
+      if (options.drop_empty) continue;
+      return Status::InvalidArgument("empty hyperedge not allowed");
+    }
+    any_node = true;
+    max_node = std::max(max_node, scratch.back());
+
+    if (options.dedup_edges) {
+      const uint64_t h = HashIdSpan(scratch.data(), scratch.size());
+      auto& bucket = seen[h];
+      bool duplicate = false;
+      for (EdgeId prev : bucket) {
+        const auto span = graph.edge(prev);
+        if (span.size() == scratch.size() &&
+            std::equal(span.begin(), span.end(), scratch.begin())) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bucket.push_back(static_cast<EdgeId>(graph.num_edges()));
+    }
+
+    graph.edge_nodes_.insert(graph.edge_nodes_.end(), scratch.begin(),
+                             scratch.end());
+    graph.edge_offsets_.push_back(graph.edge_nodes_.size());
+  }
+
+  size_t num_nodes = options.num_nodes;
+  if (num_nodes == 0) {
+    num_nodes = any_node ? static_cast<size_t>(max_node) + 1 : 0;
+  } else if (any_node && max_node >= num_nodes) {
+    return Status::InvalidArgument("node id exceeds declared num_nodes");
+  }
+  graph.num_nodes_ = num_nodes;
+
+  // Build node -> edges incidence by counting then filling.
+  graph.node_offsets_.assign(num_nodes + 1, 0);
+  for (NodeId v : graph.edge_nodes_) graph.node_offsets_[v + 1]++;
+  for (size_t v = 0; v < num_nodes; ++v) {
+    graph.node_offsets_[v + 1] += graph.node_offsets_[v];
+  }
+  graph.node_edges_.resize(graph.edge_nodes_.size());
+  std::vector<uint64_t> fill(graph.node_offsets_.begin(),
+                             graph.node_offsets_.end() - 1);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    for (NodeId v : graph.edge(e)) {
+      graph.node_edges_[fill[v]++] = e;
+    }
+  }
+  // Edges are appended in increasing id order, so each node's incidence
+  // list is already sorted ascending.
+  return graph;
+}
+
+Result<Hypergraph> MakeHypergraph(
+    const std::vector<std::vector<NodeId>>& edges,
+    const BuildOptions& options) {
+  HypergraphBuilder builder;
+  for (const auto& edge : edges) {
+    builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+  }
+  return std::move(builder).Build(options);
+}
+
+}  // namespace mochy

@@ -1,0 +1,55 @@
+// Mutable accumulator that produces an immutable Hypergraph.
+//
+// The builder sorts members inside each hyperedge, drops within-edge
+// duplicate nodes, optionally removes duplicate hyperedges (the paper's
+// Table 2 statistics are "after removing duplicated hyperedges"), and
+// builds both CSR incidence directions.
+#ifndef MOCHY_HYPERGRAPH_BUILDER_H_
+#define MOCHY_HYPERGRAPH_BUILDER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+struct BuildOptions {
+  /// Remove duplicate hyperedges (same node set), keeping the first.
+  bool dedup_edges = true;
+  /// Drop hyperedges that end up empty.
+  bool drop_empty = true;
+  /// Number of nodes; 0 means "max node id + 1".
+  size_t num_nodes = 0;
+};
+
+class HypergraphBuilder {
+ public:
+  HypergraphBuilder() = default;
+
+  /// Appends a hyperedge with the given members (any order, duplicates OK).
+  void AddEdge(std::span<const NodeId> nodes);
+  void AddEdge(std::initializer_list<NodeId> nodes);
+
+  /// Number of edges added so far.
+  size_t num_pending_edges() const { return sizes_.size(); }
+
+  /// Consumes the builder and produces the hypergraph. Fails when a node id
+  /// exceeds the declared `num_nodes` or when the result has no edges and
+  /// `options.drop_empty` removed everything that was added.
+  Result<Hypergraph> Build(const BuildOptions& options = {}) &&;
+
+ private:
+  std::vector<NodeId> pool_;      // concatenated members
+  std::vector<uint32_t> sizes_;   // size per added edge
+};
+
+/// Convenience: builds a hypergraph from edge lists in one call.
+Result<Hypergraph> MakeHypergraph(
+    const std::vector<std::vector<NodeId>>& edges,
+    const BuildOptions& options = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_BUILDER_H_

@@ -1,0 +1,113 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mochy {
+
+bool Hypergraph::EdgeContains(EdgeId e, NodeId v) const {
+  const auto span = edge(e);
+  return std::binary_search(span.begin(), span.end(), v);
+}
+
+size_t Hypergraph::max_edge_size() const {
+  size_t best = 0;
+  for (size_t e = 0; e + 1 < edge_offsets_.size(); ++e) {
+    best = std::max<size_t>(best, edge_offsets_[e + 1] - edge_offsets_[e]);
+  }
+  return best;
+}
+
+size_t SortedIntersectionSize(std::span<const NodeId> a,
+                              std::span<const NodeId> b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t Hypergraph::IntersectionSize(EdgeId a, EdgeId b) const {
+  return SortedIntersectionSize(edge(a), edge(b));
+}
+
+size_t Hypergraph::TripleIntersectionSize(EdgeId a, EdgeId b, EdgeId c) const {
+  // Scan the smallest edge, test membership in the two others.
+  const size_t sa = edge_size(a), sb = edge_size(b), sc = edge_size(c);
+  EdgeId small, other1, other2;
+  if (sa <= sb && sa <= sc) {
+    small = a;
+    other1 = b;
+    other2 = c;
+  } else if (sb <= sc) {
+    small = b;
+    other1 = a;
+    other2 = c;
+  } else {
+    small = c;
+    other1 = a;
+    other2 = b;
+  }
+  size_t count = 0;
+  for (NodeId v : edge(small)) {
+    if (EdgeContains(other1, v) && EdgeContains(other2, v)) ++count;
+  }
+  return count;
+}
+
+Status Hypergraph::Validate() const {
+  if (edge_offsets_.empty() || edge_offsets_.front() != 0 ||
+      edge_offsets_.back() != edge_nodes_.size()) {
+    return Status::Internal("edge offsets inconsistent with node array");
+  }
+  if (node_offsets_.size() != num_nodes_ + 1 || node_offsets_.front() != 0 ||
+      node_offsets_.back() != node_edges_.size()) {
+    return Status::Internal("node offsets inconsistent with edge array");
+  }
+  for (size_t e = 0; e + 1 < edge_offsets_.size(); ++e) {
+    if (edge_offsets_[e] > edge_offsets_[e + 1]) {
+      return Status::Internal("edge offsets not monotone");
+    }
+    const auto span = edge(static_cast<EdgeId>(e));
+    if (span.empty()) return Status::Internal("empty hyperedge");
+    for (size_t i = 0; i < span.size(); ++i) {
+      if (span[i] >= num_nodes_) {
+        return Status::Internal("node id out of range in edge");
+      }
+      if (i > 0 && span[i - 1] >= span[i]) {
+        return Status::Internal("edge members not strictly sorted");
+      }
+    }
+  }
+  uint64_t pins_from_nodes = 0;
+  for (size_t v = 0; v < num_nodes_; ++v) {
+    const auto span = edges_of(static_cast<NodeId>(v));
+    pins_from_nodes += span.size();
+    for (size_t i = 0; i < span.size(); ++i) {
+      if (span[i] >= num_edges()) {
+        return Status::Internal("edge id out of range in incidence");
+      }
+      if (i > 0 && span[i - 1] >= span[i]) {
+        return Status::Internal("incidence list not strictly sorted");
+      }
+      if (!EdgeContains(span[i], static_cast<NodeId>(v))) {
+        return Status::Internal("incidence lists disagree with edges");
+      }
+    }
+  }
+  if (pins_from_nodes != num_pins()) {
+    return Status::Internal("pin counts disagree between directions");
+  }
+  return Status::OK();
+}
+
+}  // namespace mochy

@@ -1,0 +1,93 @@
+// Immutable hypergraph G = (V, E) in compressed sparse row form.
+//
+// Two incidence directions are stored: hyperedge -> member nodes (each edge
+// span sorted ascending) and node -> incident hyperedges (sorted ascending).
+// Both are needed by the paper's algorithms: Algorithm 1 walks node ->
+// edges to build the projected graph, Lemma 2 membership-tests nodes
+// against sorted edge spans.
+#ifndef MOCHY_HYPERGRAPH_HYPERGRAPH_H_
+#define MOCHY_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/types.h"
+
+namespace mochy {
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Number of nodes |V| (ids are dense, isolated nodes allowed).
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Number of hyperedges |E|.
+  size_t num_edges() const { return edge_offsets_.size() - 1; }
+
+  /// Members of hyperedge `e`, sorted ascending.
+  std::span<const NodeId> edge(EdgeId e) const {
+    return {edge_nodes_.data() + edge_offsets_[e],
+            edge_nodes_.data() + edge_offsets_[e + 1]};
+  }
+
+  /// |e| — the number of nodes in hyperedge `e`.
+  size_t edge_size(EdgeId e) const {
+    return edge_offsets_[e + 1] - edge_offsets_[e];
+  }
+
+  /// E_v — hyperedges containing node `v`, sorted ascending.
+  std::span<const EdgeId> edges_of(NodeId v) const {
+    return {node_edges_.data() + node_offsets_[v],
+            node_edges_.data() + node_offsets_[v + 1]};
+  }
+
+  /// |E_v| — the degree of node `v`.
+  size_t degree(NodeId v) const {
+    return node_offsets_[v + 1] - node_offsets_[v];
+  }
+
+  /// Whether hyperedge `e` contains node `v` (binary search, O(log |e|)).
+  bool EdgeContains(EdgeId e, NodeId v) const;
+
+  /// Sum of hyperedge sizes (the number of (node, edge) incidences).
+  uint64_t num_pins() const { return edge_nodes_.size(); }
+
+  /// Size of the largest hyperedge; 0 for an empty hypergraph.
+  size_t max_edge_size() const;
+
+  /// |e_a ∩ e_b| via sorted two-pointer merge.
+  size_t IntersectionSize(EdgeId a, EdgeId b) const;
+
+  /// |e_a ∩ e_b ∩ e_c|: scans the smallest of the three edges and
+  /// membership-tests the other two (Lemma 2 of the paper).
+  size_t TripleIntersectionSize(EdgeId a, EdgeId b, EdgeId c) const;
+
+  /// Whether two hyperedges are adjacent (share at least one node).
+  bool Adjacent(EdgeId a, EdgeId b) const {
+    return IntersectionSize(a, b) > 0;
+  }
+
+  /// Validates internal consistency (sortedness, offsets, id ranges);
+  /// intended for tests and loaders, not hot paths.
+  Status Validate() const;
+
+ private:
+  friend class HypergraphBuilder;
+
+  size_t num_nodes_ = 0;
+  std::vector<uint64_t> edge_offsets_ = {0};
+  std::vector<NodeId> edge_nodes_;
+  std::vector<uint64_t> node_offsets_ = {0};
+  std::vector<EdgeId> node_edges_;
+};
+
+/// Size of the intersection of two sorted id spans.
+size_t SortedIntersectionSize(std::span<const NodeId> a,
+                              std::span<const NodeId> b);
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_HYPERGRAPH_H_

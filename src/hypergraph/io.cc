@@ -1,0 +1,101 @@
+#include "hypergraph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mochy {
+
+namespace {
+
+bool IsSeparator(char c) {
+  return c == ' ' || c == ',' || c == '\t' || c == '\r';
+}
+
+}  // namespace
+
+Result<Hypergraph> ParseHypergraph(const std::string& text,
+                                   const BuildOptions& options) {
+  HypergraphBuilder builder;
+  std::vector<NodeId> edge;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t end = text.find('\n', pos);
+    const size_t line_end = end == std::string::npos ? text.size() : end;
+    ++line_no;
+    size_t i = pos;
+    pos = line_end + 1;
+    // Skip leading whitespace; ignore comments and blank lines.
+    while (i < line_end && IsSeparator(text[i])) ++i;
+    if (i >= line_end || text[i] == '#' || text[i] == '%') {
+      if (end == std::string::npos) break;
+      continue;
+    }
+    edge.clear();
+    while (i < line_end) {
+      if (IsSeparator(text[i])) {
+        ++i;
+        continue;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected a non-negative integer");
+      }
+      uint64_t value = 0;
+      while (i < line_end && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+        if (value > kInvalidNode - 1) {
+          return Status::OutOfRange("line " + std::to_string(line_no) +
+                                    ": node id too large");
+        }
+        ++i;
+      }
+      edge.push_back(static_cast<NodeId>(value));
+    }
+    if (!edge.empty()) {
+      builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+    }
+    if (end == std::string::npos) break;
+  }
+  return std::move(builder).Build(options);
+}
+
+Result<Hypergraph> LoadHypergraph(const std::string& path,
+                                  const BuildOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  return ParseHypergraph(buffer.str(), options);
+}
+
+std::string FormatHypergraph(const Hypergraph& graph) {
+  std::string out;
+  out.reserve(graph.num_pins() * 7);
+  char scratch[16];
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    bool first = true;
+    for (NodeId v : graph.edge(e)) {
+      if (!first) out.push_back(' ');
+      first = false;
+      const int len = std::snprintf(scratch, sizeof(scratch), "%u", v);
+      out.append(scratch, static_cast<size_t>(len));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status SaveHypergraph(const Hypergraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const std::string text = FormatHypergraph(graph);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace mochy

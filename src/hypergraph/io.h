@@ -1,0 +1,34 @@
+// Text serialization for hypergraphs.
+//
+// Format: one hyperedge per line, member node ids separated by spaces,
+// commas, or tabs. Lines starting with '#' or '%' are comments. This is the
+// format used by the public hypergraph datasets the paper evaluates on
+// (Benson et al.), so real datasets drop in directly when available.
+#ifndef MOCHY_HYPERGRAPH_IO_H_
+#define MOCHY_HYPERGRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+/// Parses a hypergraph from the text format described above.
+Result<Hypergraph> ParseHypergraph(const std::string& text,
+                                   const BuildOptions& options = {});
+
+/// Loads a hypergraph from a file in the text format.
+Result<Hypergraph> LoadHypergraph(const std::string& path,
+                                  const BuildOptions& options = {});
+
+/// Serializes to the text format (one edge per line, space separated).
+std::string FormatHypergraph(const Hypergraph& graph);
+
+/// Writes the text format to a file.
+Status SaveHypergraph(const Hypergraph& graph, const std::string& path);
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_IO_H_

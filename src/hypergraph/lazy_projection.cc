@@ -1,0 +1,129 @@
+#include "hypergraph/lazy_projection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mochy {
+
+LazyProjection::LazyProjection(const Hypergraph& graph,
+                               const LazyProjectionOptions& options)
+    : graph_(graph),
+      options_(options),
+      rng_(options.seed),
+      count_(graph.num_edges(), 0) {
+  touched_.reserve(256);
+}
+
+void LazyProjection::ComputeInto(EdgeId e, std::vector<Neighbor>* out) {
+  ++stats_.computations;
+  for (NodeId v : graph_.edge(e)) {
+    for (EdgeId other : graph_.edges_of(v)) {
+      if (other == e) continue;
+      if (count_[other] == 0) touched_.push_back(other);
+      ++count_[other];
+    }
+  }
+  std::sort(touched_.begin(), touched_.end());
+  out->clear();
+  out->reserve(touched_.size());
+  for (EdgeId other : touched_) {
+    out->push_back(Neighbor{other, count_[other]});
+    count_[other] = 0;
+  }
+  touched_.clear();
+}
+
+const std::vector<Neighbor>& LazyProjection::Neighborhood(EdgeId e) {
+  auto it = memo_.find(e);
+  if (it != memo_.end()) {
+    ++stats_.memo_hits;
+    if (options_.policy == EvictionPolicy::kLru) {
+      lru_order_.erase(it->second.lru_it);
+      lru_order_.push_front(e);
+      it->second.lru_it = lru_order_.begin();
+    }
+    return it->second.neighbors;
+  }
+  ComputeInto(e, &transient_);
+  if (options_.memory_budget_bytes > 0) {
+    MaybeMemoize(e, std::vector<Neighbor>(transient_));
+    auto inserted = memo_.find(e);
+    if (inserted != memo_.end()) return inserted->second.neighbors;
+  }
+  return transient_;
+}
+
+void LazyProjection::MaybeMemoize(EdgeId e, std::vector<Neighbor>&& neighbors) {
+  const uint64_t bytes = EntryBytes(neighbors.size());
+  if (bytes > options_.memory_budget_bytes) return;  // never fits
+
+  // Free space per policy until the new entry fits.
+  while (stats_.bytes_used + bytes > options_.memory_budget_bytes) {
+    MOCHY_DCHECK(!memo_.empty());
+    EdgeId victim = kInvalidEdge;
+    switch (options_.policy) {
+      case EvictionPolicy::kDegreePriority: {
+        // Keep high-degree neighborhoods: evict the lowest-degree entry,
+        // but refuse to evict entries with degree above the newcomer's.
+        const auto lowest = by_degree_.begin();
+        if (lowest->first >= neighbors.size()) return;  // newcomer loses
+        victim = lowest->second;
+        break;
+      }
+      case EvictionPolicy::kLru:
+        victim = lru_order_.back();
+        break;
+      case EvictionPolicy::kRandom:
+        victim = random_pool_[rng_.UniformInt(random_pool_.size())];
+        break;
+    }
+    Evict(victim);
+  }
+
+  Entry entry;
+  entry.neighbors = std::move(neighbors);
+  entry.bytes = bytes;
+  auto [it, inserted] = memo_.emplace(e, std::move(entry));
+  MOCHY_DCHECK(inserted);
+  stats_.bytes_used += bytes;
+  switch (options_.policy) {
+    case EvictionPolicy::kDegreePriority:
+      it->second.degree_it = by_degree_.emplace(
+          static_cast<uint32_t>(it->second.neighbors.size()), e);
+      break;
+    case EvictionPolicy::kLru:
+      lru_order_.push_front(e);
+      it->second.lru_it = lru_order_.begin();
+      break;
+    case EvictionPolicy::kRandom:
+      it->second.random_index = random_pool_.size();
+      random_pool_.push_back(e);
+      break;
+  }
+}
+
+void LazyProjection::Evict(EdgeId victim) {
+  auto it = memo_.find(victim);
+  MOCHY_DCHECK(it != memo_.end());
+  stats_.bytes_used -= it->second.bytes;
+  ++stats_.evictions;
+  switch (options_.policy) {
+    case EvictionPolicy::kDegreePriority:
+      by_degree_.erase(it->second.degree_it);
+      break;
+    case EvictionPolicy::kLru:
+      lru_order_.erase(it->second.lru_it);
+      break;
+    case EvictionPolicy::kRandom: {
+      const size_t idx = it->second.random_index;
+      random_pool_[idx] = random_pool_.back();
+      memo_[random_pool_[idx]].random_index = idx;
+      random_pool_.pop_back();
+      break;
+    }
+  }
+  memo_.erase(it);
+}
+
+}  // namespace mochy

@@ -1,0 +1,100 @@
+// On-the-fly projected-graph computation with bounded memoization
+// (paper Section 3.4, evaluated in Figure 11).
+//
+// Instead of materializing the full projected graph (O(|E| + |∧|) space),
+// neighborhoods are computed on demand and cached within a byte budget.
+// When the budget is exhausted, an eviction policy decides what to keep;
+// the paper finds that prioritizing high-degree hyperedges beats LRU and
+// random eviction, which we reproduce as an ablation.
+//
+// Whether a neighborhood is served from the memo or recomputed, it is
+// always exact, so on-the-fly MoCHy-A+ has identical output distribution
+// to the eager version (and identical output for the same seed).
+#ifndef MOCHY_HYPERGRAPH_LAZY_PROJECTION_H_
+#define MOCHY_HYPERGRAPH_LAZY_PROJECTION_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+
+namespace mochy {
+
+enum class EvictionPolicy {
+  kDegreePriority,  ///< keep the highest projected-degree neighborhoods
+  kLru,             ///< evict the least recently used neighborhood
+  kRandom,          ///< evict a uniformly random memoized neighborhood
+};
+
+struct LazyProjectionOptions {
+  /// Maximum bytes of memoized neighborhoods. 0 disables memoization
+  /// entirely (every access recomputes).
+  uint64_t memory_budget_bytes = 0;
+  EvictionPolicy policy = EvictionPolicy::kDegreePriority;
+  /// Seed for the kRandom policy.
+  uint64_t seed = 7;
+};
+
+class LazyProjection {
+ public:
+  LazyProjection(const Hypergraph& graph, const LazyProjectionOptions& options);
+
+  /// The exact weighted neighborhood of `e`, sorted by edge id. The
+  /// reference stays valid until the next Neighborhood() call (it may
+  /// point into transient scratch when the entry is not memoized).
+  const std::vector<Neighbor>& Neighborhood(EdgeId e);
+
+  struct Stats {
+    uint64_t computations = 0;  ///< neighborhoods computed from scratch
+    uint64_t memo_hits = 0;     ///< served from the cache
+    uint64_t evictions = 0;     ///< memoized entries dropped
+    uint64_t bytes_used = 0;    ///< current cache footprint
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::vector<Neighbor> neighbors;
+    uint64_t bytes = 0;
+    // Policy bookkeeping handles.
+    std::multimap<uint32_t, EdgeId>::iterator degree_it;
+    std::list<EdgeId>::iterator lru_it;
+    size_t random_index = 0;
+  };
+
+  void ComputeInto(EdgeId e, std::vector<Neighbor>* out);
+  /// Tries to insert a freshly computed neighborhood into the memo,
+  /// evicting per policy. May decline (degree policy declines to evict
+  /// higher-degree entries for a lower-degree newcomer).
+  void MaybeMemoize(EdgeId e, std::vector<Neighbor>&& neighbors);
+  void Evict(EdgeId victim);
+
+  static uint64_t EntryBytes(size_t num_neighbors) {
+    return num_neighbors * sizeof(Neighbor) + 64;  // payload + bookkeeping
+  }
+
+  const Hypergraph& graph_;
+  LazyProjectionOptions options_;
+  Rng rng_;
+
+  std::unordered_map<EdgeId, Entry> memo_;
+  std::multimap<uint32_t, EdgeId> by_degree_;  // ascending degree
+  std::list<EdgeId> lru_order_;                // front = most recent
+  std::vector<EdgeId> random_pool_;
+
+  // Scratch for on-demand computation.
+  std::vector<uint32_t> count_;
+  std::vector<EdgeId> touched_;
+  std::vector<Neighbor> transient_;
+
+  Stats stats_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_LAZY_PROJECTION_H_

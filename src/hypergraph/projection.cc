@@ -1,0 +1,156 @@
+#include "hypergraph/projection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace mochy {
+
+namespace {
+
+/// Reusable scratch for accumulating one hyperedge's neighborhood: a dense
+/// counter array over edge ids plus the list of touched slots, so clearing
+/// costs O(#neighbors) rather than O(|E|).
+class NeighborhoodScratch {
+ public:
+  explicit NeighborhoodScratch(size_t num_edges) : count_(num_edges, 0) {
+    touched_.reserve(256);
+  }
+
+  /// Computes the weighted neighborhood of `e` into `out` (sorted by id).
+  void Compute(const Hypergraph& graph, EdgeId e,
+               std::vector<Neighbor>* out) {
+    for (NodeId v : graph.edge(e)) {
+      for (EdgeId other : graph.edges_of(v)) {
+        if (other == e) continue;
+        if (count_[other] == 0) touched_.push_back(other);
+        ++count_[other];
+      }
+    }
+    std::sort(touched_.begin(), touched_.end());
+    out->clear();
+    out->reserve(touched_.size());
+    for (EdgeId other : touched_) {
+      out->push_back(Neighbor{other, count_[other]});
+      count_[other] = 0;
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<uint32_t> count_;
+  std::vector<EdgeId> touched_;
+};
+
+}  // namespace
+
+Result<ProjectedGraph> ProjectedGraph::Build(const Hypergraph& graph,
+                                             size_t num_threads) {
+  const size_t m = graph.num_edges();
+  ProjectedGraph out;
+  out.offsets_.assign(m + 1, 0);
+  out.suffix_start_.assign(m, 0);
+  out.wedge_offsets_.assign(m + 1, 0);
+
+  // Per-edge neighbor lists, computed in parallel blocks.
+  std::vector<std::vector<Neighbor>> lists(m);
+  ParallelBlocks(m, num_threads,
+                 [&](size_t /*thread*/, size_t begin, size_t end) {
+                   NeighborhoodScratch scratch(m);
+                   for (size_t e = begin; e < end; ++e) {
+                     scratch.Compute(graph, static_cast<EdgeId>(e),
+                                     &lists[e]);
+                   }
+                 });
+
+  // Flatten into CSR and compute wedge bookkeeping.
+  uint64_t total_adj = 0;
+  for (size_t e = 0; e < m; ++e) total_adj += lists[e].size();
+  out.adj_.reserve(total_adj);
+  uint64_t wedges = 0;
+  uint64_t total_weight = 0;
+  for (size_t e = 0; e < m; ++e) {
+    const auto& list = lists[e];
+    // First neighbor with id > e: neighbors are sorted, so a suffix.
+    size_t suffix = list.size();
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].edge > e) {
+        suffix = i;
+        break;
+      }
+    }
+    out.suffix_start_[e] = static_cast<uint32_t>(suffix);
+    const uint64_t wedges_here = list.size() - suffix;
+    out.wedge_offsets_[e + 1] = out.wedge_offsets_[e] + wedges_here;
+    wedges += wedges_here;
+    out.adj_.insert(out.adj_.end(), list.begin(), list.end());
+    out.offsets_[e + 1] = out.adj_.size();
+    for (size_t i = suffix; i < list.size(); ++i) {
+      total_weight += list[i].weight;
+    }
+    lists[e].clear();
+    lists[e].shrink_to_fit();
+  }
+  out.num_wedges_ = wedges;
+  out.total_weight_ = total_weight;
+
+  // O(1) pair-weight probes for the MoCHy-E inner loop.
+  out.weight_map_ = FlatMap64<uint32_t>(wedges);
+  for (size_t e = 0; e < m; ++e) {
+    const auto span = out.neighbors(static_cast<EdgeId>(e));
+    for (size_t i = out.suffix_start_[e]; i < span.size(); ++i) {
+      out.weight_map_.Put(PackPair(static_cast<EdgeId>(e), span[i].edge),
+                          span[i].weight);
+    }
+  }
+  return out;
+}
+
+std::pair<EdgeId, EdgeId> ProjectedGraph::WedgeAt(uint64_t k) const {
+  MOCHY_DCHECK(k < num_wedges_);
+  // Find the source edge via binary search over the wedge prefix sums.
+  const auto it = std::upper_bound(wedge_offsets_.begin(),
+                                   wedge_offsets_.end(), k);
+  const size_t e = static_cast<size_t>(it - wedge_offsets_.begin()) - 1;
+  const uint64_t within = k - wedge_offsets_[e];
+  const auto span = neighbors(static_cast<EdgeId>(e));
+  const Neighbor& n = span[suffix_start_[e] + within];
+  return {static_cast<EdgeId>(e), n.edge};
+}
+
+ProjectedDegrees ComputeProjectedDegrees(const Hypergraph& graph,
+                                         size_t num_threads) {
+  const size_t m = graph.num_edges();
+  ProjectedDegrees result;
+  result.degree.assign(m, 0);
+  std::vector<uint64_t> wedges_here(m, 0);
+  ParallelBlocks(
+      m, num_threads, [&](size_t /*thread*/, size_t begin, size_t end) {
+        std::vector<uint32_t> stamp(m, 0);
+        std::vector<EdgeId> touched;
+        for (size_t e = begin; e < end; ++e) {
+          for (NodeId v : graph.edge(static_cast<EdgeId>(e))) {
+            for (EdgeId other : graph.edges_of(v)) {
+              if (other == e || stamp[other] != 0) continue;
+              stamp[other] = 1;
+              touched.push_back(other);
+            }
+          }
+          result.degree[e] = static_cast<uint32_t>(touched.size());
+          for (EdgeId other : touched) {
+            if (other > e) ++wedges_here[e];
+            stamp[other] = 0;
+          }
+          touched.clear();
+        }
+      });
+  result.wedge_prefix.assign(m + 1, 0);
+  for (size_t e = 0; e < m; ++e) {
+    result.wedge_prefix[e + 1] = result.wedge_prefix[e] + wedges_here[e];
+  }
+  result.num_wedges = result.wedge_prefix[m];
+  return result;
+}
+
+}  // namespace mochy

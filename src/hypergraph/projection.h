@@ -1,0 +1,91 @@
+// Projected graph of a hypergraph (paper Section 2.1, Algorithm 1).
+//
+// Hyperedges become vertices; two are adjacent iff they share a node, with
+// weight omega = |e_i ∩ e_j|. Every MoCHy variant runs on this structure.
+// Both adjacency directions are materialized (neighbor lists per edge,
+// sorted by neighbor id), hyperwedges {i, j} are indexable for uniform
+// sampling (MoCHy-A+), and an open-addressing table provides the O(1) pair
+// weight probes the MoCHy-E inner loop needs.
+#ifndef MOCHY_HYPERGRAPH_PROJECTION_H_
+#define MOCHY_HYPERGRAPH_PROJECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+/// One adjacency in the projected graph.
+struct Neighbor {
+  EdgeId edge;      ///< the adjacent hyperedge id
+  uint32_t weight;  ///< omega = size of the pairwise intersection
+};
+
+class ProjectedGraph {
+ public:
+  ProjectedGraph() = default;
+
+  /// Builds the projection of `graph` using `num_threads` workers.
+  static Result<ProjectedGraph> Build(const Hypergraph& graph,
+                                      size_t num_threads = 1);
+
+  /// Number of vertices (= hyperedges of the source hypergraph).
+  size_t num_edges() const { return offsets_.size() - 1; }
+
+  /// N_{e}: adjacent hyperedges of `e` with weights, sorted by edge id.
+  std::span<const Neighbor> neighbors(EdgeId e) const {
+    return {adj_.data() + offsets_[e], adj_.data() + offsets_[e + 1]};
+  }
+
+  /// |N_e| — degree of `e` in the projected graph.
+  size_t degree(EdgeId e) const { return offsets_[e + 1] - offsets_[e]; }
+
+  /// |∧| — total number of hyperwedges (unordered adjacent pairs).
+  uint64_t num_wedges() const { return num_wedges_; }
+
+  /// omega({a, b}); 0 when the edges are not adjacent. O(1) expected.
+  uint32_t Weight(EdgeId a, EdgeId b) const {
+    if (a == b) return 0;
+    return weight_map_.GetOr(PackPair(a, b), 0);
+  }
+
+  /// The k-th hyperwedge, k in [0, num_wedges()), as (i, j) with i < j.
+  /// Wedges are ordered by (i, then j); used for uniform wedge sampling.
+  std::pair<EdgeId, EdgeId> WedgeAt(uint64_t k) const;
+
+  /// Sum over all wedges of omega (useful for Lemma 1 cost accounting and
+  /// for the weighted wedge sampler).
+  uint64_t total_weight() const { return total_weight_; }
+
+ private:
+  std::vector<uint64_t> offsets_ = {0};       // CSR offsets into adj_
+  std::vector<Neighbor> adj_;                 // both directions
+  std::vector<uint64_t> wedge_offsets_ = {0};  // prefix of #wedges (j > i)
+  std::vector<uint32_t> suffix_start_;        // index in neighbors(e) of first j > e
+  FlatMap64<uint32_t> weight_map_;            // PackPair(i,j) -> omega
+  uint64_t num_wedges_ = 0;
+  uint64_t total_weight_ = 0;
+};
+
+/// Computes only the projected-graph degree |N_e| of every hyperedge plus
+/// |∧|, without materializing adjacency. Memory O(|E|); used for Table 2
+/// statistics and by the on-the-fly variants.
+struct ProjectedDegrees {
+  std::vector<uint32_t> degree;  ///< |N_e| per hyperedge
+  uint64_t num_wedges = 0;       ///< |∧|
+  /// wedge_prefix[e+1] - wedge_prefix[e] = #neighbors of e with id > e;
+  /// prefix sums index the wedge set for uniform sampling without the
+  /// materialized projection (on-the-fly MoCHy-A+).
+  std::vector<uint64_t> wedge_prefix;
+};
+ProjectedDegrees ComputeProjectedDegrees(const Hypergraph& graph,
+                                         size_t num_threads = 1);
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_PROJECTION_H_

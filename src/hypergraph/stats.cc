@@ -1,0 +1,62 @@
+#include "hypergraph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hypergraph/projection.h"
+
+namespace mochy {
+
+DatasetStats ComputeStats(const Hypergraph& graph, size_t num_threads) {
+  DatasetStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  s.num_pins = graph.num_pins();
+  s.max_edge_size = graph.max_edge_size();
+  s.mean_edge_size =
+      s.num_edges == 0
+          ? 0.0
+          : static_cast<double>(s.num_pins) / static_cast<double>(s.num_edges);
+  uint64_t active_nodes = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint64_t d = graph.degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d > 0) ++active_nodes;
+  }
+  s.mean_degree = active_nodes == 0 ? 0.0
+                                    : static_cast<double>(s.num_pins) /
+                                          static_cast<double>(active_nodes);
+  s.num_wedges = ComputeProjectedDegrees(graph, num_threads).num_wedges;
+  return s;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Hypergraph& graph) {
+  uint64_t max_degree = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    max_degree = std::max<uint64_t>(max_degree, graph.degree(v));
+  }
+  std::vector<uint64_t> hist(max_degree + 1, 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) ++hist[graph.degree(v)];
+  return hist;
+}
+
+std::vector<uint64_t> EdgeSizeHistogram(const Hypergraph& graph) {
+  std::vector<uint64_t> hist(graph.max_edge_size() + 1, 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) ++hist[graph.edge_size(e)];
+  return hist;
+}
+
+std::string FormatStatsRow(const std::string& name, const DatasetStats& s) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-18s %9llu %9llu %5llu %6.2f %12llu %9llu",
+                name.c_str(), static_cast<unsigned long long>(s.num_nodes),
+                static_cast<unsigned long long>(s.num_edges),
+                static_cast<unsigned long long>(s.max_edge_size),
+                s.mean_edge_size,
+                static_cast<unsigned long long>(s.num_wedges),
+                static_cast<unsigned long long>(s.max_degree));
+  return buffer;
+}
+
+}  // namespace mochy

@@ -1,0 +1,38 @@
+// Dataset statistics (the columns of the paper's Table 2).
+#ifndef MOCHY_HYPERGRAPH_STATS_H_
+#define MOCHY_HYPERGRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+struct DatasetStats {
+  uint64_t num_nodes = 0;      ///< |V|
+  uint64_t num_edges = 0;      ///< |E| (after duplicate removal)
+  uint64_t max_edge_size = 0;  ///< max |e| over hyperedges
+  double mean_edge_size = 0.0;
+  uint64_t num_pins = 0;       ///< sum of |e|
+  uint64_t num_wedges = 0;     ///< |∧|
+  uint64_t max_degree = 0;     ///< max |E_v| over nodes
+  double mean_degree = 0.0;    ///< mean |E_v| over nodes with degree > 0
+};
+
+/// Computes all Table 2 statistics; the wedge count uses `num_threads`.
+DatasetStats ComputeStats(const Hypergraph& graph, size_t num_threads = 1);
+
+/// Node degree histogram: result[d] = #nodes with degree d.
+std::vector<uint64_t> DegreeHistogram(const Hypergraph& graph);
+
+/// Hyperedge size histogram: result[s] = #edges of size s.
+std::vector<uint64_t> EdgeSizeHistogram(const Hypergraph& graph);
+
+/// One formatted row, matching the Table 2 layout.
+std::string FormatStatsRow(const std::string& name, const DatasetStats& s);
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_STATS_H_

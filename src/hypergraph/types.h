@@ -1,0 +1,21 @@
+// Fundamental id types shared by all hypergraph modules.
+#ifndef MOCHY_HYPERGRAPH_TYPES_H_
+#define MOCHY_HYPERGRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace mochy {
+
+/// Node identifier; dense in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Hyperedge identifier; dense in [0, num_edges).
+using EdgeId = uint32_t;
+
+/// Sentinel for "no node" / "no edge".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr EdgeId kInvalidEdge = ~EdgeId{0};
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_TYPES_H_

@@ -1,0 +1,44 @@
+// Common interface of the five Table 4 classifiers.
+#ifndef MOCHY_ML_CLASSIFIER_H_
+#define MOCHY_ML_CLASSIFIER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace mochy {
+
+/// Binary probabilistic classifier. Implementations are deterministic in
+/// their configured seed.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset (validated by implementations).
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// P(label = 1 | x). Only valid after a successful Fit().
+  virtual double PredictProba(std::span<const double> x) const = 0;
+
+  /// Hard 0/1 prediction at the 0.5 threshold.
+  int Predict(std::span<const double> x) const {
+    return PredictProba(x) >= 0.5 ? 1 : 0;
+  }
+
+  /// Probabilities for every row of a dataset.
+  std::vector<double> PredictAll(const Dataset& data) const {
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (const auto& row : data.features) {
+      out.push_back(
+          PredictProba(std::span<const double>(row.data(), row.size())));
+    }
+    return out;
+  }
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_CLASSIFIER_H_

@@ -1,0 +1,91 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mochy {
+
+Status Dataset::Validate() const {
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("feature/label count mismatch");
+  }
+  const size_t width = num_features();
+  for (const auto& row : features) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+  }
+  return Status::OK();
+}
+
+Status TrainTestSplit(const Dataset& data, double test_fraction,
+                      uint64_t seed, Dataset* train, Dataset* test) {
+  MOCHY_RETURN_IF_ERROR(data.Validate());
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    return Status::InvalidArgument("test_fraction must be in [0, 1]");
+  }
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(order);
+  const size_t test_count =
+      static_cast<size_t>(test_fraction * static_cast<double>(data.size()));
+  train->features.clear();
+  train->labels.clear();
+  test->features.clear();
+  test->labels.clear();
+  for (size_t i = 0; i < order.size(); ++i) {
+    Dataset* target = i < test_count ? test : train;
+    target->features.push_back(data.features[order[i]]);
+    target->labels.push_back(data.labels[order[i]]);
+  }
+  return Status::OK();
+}
+
+Standardizer Standardizer::Fit(const Dataset& data) {
+  Standardizer s;
+  const size_t width = data.num_features();
+  s.mean_.assign(width, 0.0);
+  s.inv_std_.assign(width, 1.0);
+  if (data.size() == 0) return s;
+  const double n = static_cast<double>(data.size());
+  for (const auto& row : data.features) {
+    for (size_t f = 0; f < width; ++f) s.mean_[f] += row[f];
+  }
+  for (double& m : s.mean_) m /= n;
+  std::vector<double> var(width, 0.0);
+  for (const auto& row : data.features) {
+    for (size_t f = 0; f < width; ++f) {
+      const double d = row[f] - s.mean_[f];
+      var[f] += d * d;
+    }
+  }
+  for (size_t f = 0; f < width; ++f) {
+    const double v = var[f] / n;
+    s.inv_std_[f] = v > 1e-12 ? 1.0 / std::sqrt(v) : 0.0;
+  }
+  return s;
+}
+
+std::vector<double> Standardizer::Transform(std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  for (size_t f = 0; f < row.size() && f < mean_.size(); ++f) {
+    out[f] = (row[f] - mean_[f]) * inv_std_[f];
+  }
+  return out;
+}
+
+void Standardizer::Apply(Dataset* data) const {
+  for (auto& row : data->features) {
+    row = Transform(std::span<const double>(row.data(), row.size()));
+  }
+}
+
+}  // namespace mochy

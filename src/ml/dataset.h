@@ -1,0 +1,48 @@
+// Dense feature matrix + binary labels, train/test splitting, and feature
+// standardization for the Table 4 hyperedge-prediction case study.
+#ifndef MOCHY_ML_DATASET_H_
+#define MOCHY_ML_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mochy {
+
+/// Row-major feature matrix with parallel 0/1 labels.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+
+  size_t size() const { return features.size(); }
+  size_t num_features() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Checks rectangular shape, label/feature alignment, binary labels.
+  Status Validate() const;
+};
+
+/// Deterministic shuffled split; `test_fraction` of rows go to `test`.
+Status TrainTestSplit(const Dataset& data, double test_fraction,
+                      uint64_t seed, Dataset* train, Dataset* test);
+
+/// Per-feature standardization (zero mean, unit variance) fitted on one
+/// dataset and applied to others — constant features map to zero.
+class Standardizer {
+ public:
+  static Standardizer Fit(const Dataset& data);
+
+  std::vector<double> Transform(std::span<const double> row) const;
+  void Apply(Dataset* data) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_DATASET_H_

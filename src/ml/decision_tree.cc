@@ -1,0 +1,141 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mochy {
+
+namespace {
+
+/// Gini impurity of a split given positive/total counts on each side.
+double SplitGini(double left_pos, double left_n, double right_pos,
+                 double right_n) {
+  auto gini = [](double pos, double n) {
+    if (n <= 0.0) return 0.0;
+    const double p = pos / n;
+    return 2.0 * p * (1.0 - p);
+  };
+  const double total = left_n + right_n;
+  return (left_n / total) * gini(left_pos, left_n) +
+         (right_n / total) * gini(right_pos, right_n);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Dataset& train) {
+  std::vector<size_t> rows(train.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  return FitIndices(train, rows);
+}
+
+Status DecisionTree::FitIndices(const Dataset& train,
+                                const std::vector<size_t>& row_subset) {
+  MOCHY_RETURN_IF_ERROR(train.Validate());
+  if (row_subset.empty()) {
+    return Status::InvalidArgument("empty training subset");
+  }
+  nodes_.clear();
+  std::vector<size_t> rows = row_subset;
+  Rng rng(options_.seed);
+  BuildNode(train, rows, 0, rows.size(), 0, rng);
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const Dataset& data, std::vector<size_t>& rows,
+                            size_t begin, size_t end, int depth, Rng& rng) {
+  const size_t count = end - begin;
+  size_t positives = 0;
+  for (size_t i = begin; i < end; ++i) positives += data.labels[rows[i]];
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].positive_fraction =
+      static_cast<double>(positives) / static_cast<double>(count);
+
+  const bool pure = positives == 0 || positives == count;
+  if (pure || depth >= options_.max_depth ||
+      count < options_.min_samples_split) {
+    return node_index;
+  }
+
+  // Candidate features: all, or a random subset (forest mode).
+  const size_t width = data.num_features();
+  std::vector<size_t> candidates;
+  if (options_.max_features == 0 || options_.max_features >= width) {
+    candidates.resize(width);
+    std::iota(candidates.begin(), candidates.end(), 0);
+  } else {
+    const auto sampled = rng.SampleDistinct(width, options_.max_features);
+    candidates.assign(sampled.begin(), sampled.end());
+  }
+
+  double best_gini = 1.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, int>> values;  // (feature value, label)
+  values.reserve(count);
+  for (size_t feature : candidates) {
+    values.clear();
+    for (size_t i = begin; i < end; ++i) {
+      values.emplace_back(data.features[rows[i]][feature],
+                          data.labels[rows[i]]);
+    }
+    std::sort(values.begin(), values.end());
+    double left_pos = 0.0, left_n = 0.0;
+    const double total_pos = static_cast<double>(positives);
+    const double total_n = static_cast<double>(count);
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      left_pos += values[i].second;
+      left_n += 1.0;
+      if (values[i].first == values[i + 1].first) continue;  // no boundary
+      if (left_n < options_.min_samples_leaf ||
+          total_n - left_n < options_.min_samples_leaf) {
+        continue;
+      }
+      const double g =
+          SplitGini(left_pos, left_n, total_pos - left_pos, total_n - left_n);
+      if (g < best_gini - 1e-12) {
+        best_gini = g;
+        best_feature = static_cast<int>(feature);
+        best_threshold = (values[i].first + values[i + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;  // no useful split
+
+  // Partition rows in place around the threshold.
+  const auto middle = std::stable_partition(
+      rows.begin() + static_cast<int64_t>(begin),
+      rows.begin() + static_cast<int64_t>(end), [&](size_t row) {
+        return data.features[row][static_cast<size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const size_t split =
+      static_cast<size_t>(middle - rows.begin());
+  if (split == begin || split == end) return node_index;  // degenerate
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int left = BuildNode(data, rows, begin, split, depth + 1, rng);
+  nodes_[node_index].left = left;
+  const int right = BuildNode(data, rows, split, end, depth + 1, rng);
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictProba(std::span<const double> x) const {
+  if (nodes_.empty()) return 0.5;
+  int index = 0;
+  while (nodes_[static_cast<size_t>(index)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    const size_t f = static_cast<size_t>(node.feature);
+    const double value = f < x.size() ? x[f] : 0.0;
+    index = value <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[static_cast<size_t>(index)].positive_fraction;
+}
+
+}  // namespace mochy

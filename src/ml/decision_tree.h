@@ -1,0 +1,55 @@
+// CART decision tree with Gini impurity (one of the Table 4 classifiers,
+// also the base learner of the random forest).
+#ifndef MOCHY_ML_DECISION_TREE_H_
+#define MOCHY_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mochy {
+
+struct DecisionTreeOptions {
+  int max_depth = 8;
+  size_t min_samples_split = 4;
+  size_t min_samples_leaf = 2;
+  /// 0 = consider all features at each split; otherwise sample this many
+  /// (random forests pass ~sqrt(#features)).
+  size_t max_features = 0;
+  uint64_t seed = 1;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(const DecisionTreeOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+
+  /// Fit on a subset of row indices (bootstrap support for forests).
+  Status FitIndices(const Dataset& train, const std::vector<size_t>& rows);
+
+  double PredictProba(std::span<const double> x) const override;
+
+  /// Number of nodes in the fitted tree (tests/inspection).
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 for leaves
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    int left = -1, right = -1;
+    double positive_fraction = 0.5;
+  };
+
+  int BuildNode(const Dataset& data, std::vector<size_t>& rows, size_t begin,
+                size_t end, int depth, class Rng& rng);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_DECISION_TREE_H_

@@ -1,0 +1,46 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mochy {
+
+Status KNearestNeighbors::Fit(const Dataset& train) {
+  MOCHY_RETURN_IF_ERROR(train.Validate());
+  if (train.size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (options_.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  standardizer_ = Standardizer::Fit(train);
+  train_ = train;
+  standardizer_.Apply(&train_);
+  return Status::OK();
+}
+
+double KNearestNeighbors::PredictProba(std::span<const double> x) const {
+  if (train_.size() == 0) return 0.5;
+  const std::vector<double> query = standardizer_.Transform(x);
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> distances;  // (squared dist, label)
+  distances.reserve(train_.size());
+  for (size_t i = 0; i < train_.size(); ++i) {
+    const auto& row = train_.features[i];
+    double d = 0.0;
+    for (size_t f = 0; f < row.size() && f < query.size(); ++f) {
+      const double diff = row[f] - query[f];
+      d += diff * diff;
+    }
+    distances.emplace_back(d, train_.labels[i]);
+  }
+  const size_t k = std::min(options_.k, distances.size());
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<int64_t>(k - 1),
+                   distances.end());
+  double positives = 0.0;
+  for (size_t i = 0; i < k; ++i) positives += distances[i].second;
+  return positives / static_cast<double>(k);
+}
+
+}  // namespace mochy

@@ -1,0 +1,29 @@
+// k-nearest-neighbors on standardized features (Euclidean metric).
+#ifndef MOCHY_ML_KNN_H_
+#define MOCHY_ML_KNN_H_
+
+#include "ml/classifier.h"
+
+namespace mochy {
+
+struct KnnOptions {
+  size_t k = 5;
+};
+
+class KNearestNeighbors : public Classifier {
+ public:
+  explicit KNearestNeighbors(const KnnOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(std::span<const double> x) const override;
+
+ private:
+  KnnOptions options_;
+  Standardizer standardizer_;
+  Dataset train_;  // standardized copy
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_KNN_H_

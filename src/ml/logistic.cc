@@ -1,0 +1,82 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mochy {
+
+namespace {
+inline double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+Status LogisticRegression::Fit(const Dataset& train) {
+  MOCHY_RETURN_IF_ERROR(train.Validate());
+  if (train.size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  standardizer_ = Standardizer::Fit(train);
+  Dataset data = train;
+  standardizer_.Apply(&data);
+
+  const size_t width = data.num_features();
+  weights_.assign(width, 0.0);
+  bias_ = 0.0;
+
+  // Adam state.
+  std::vector<double> m(width + 1, 0.0), v(width + 1, 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  const double n = static_cast<double>(data.size());
+  double beta1_t = 1.0, beta2_t = 1.0;
+
+  std::vector<double> grad(width + 1, 0.0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < data.size(); ++i) {
+      const auto& x = data.features[i];
+      double z = bias_;
+      for (size_t f = 0; f < width; ++f) z += weights_[f] * x[f];
+      const double error = Sigmoid(z) - static_cast<double>(data.labels[i]);
+      for (size_t f = 0; f < width; ++f) grad[f] += error * x[f];
+      grad[width] += error;
+    }
+    for (size_t f = 0; f < width; ++f) {
+      grad[f] = grad[f] / n + options_.l2 * weights_[f];
+    }
+    grad[width] /= n;
+
+    beta1_t *= beta1;
+    beta2_t *= beta2;
+    for (size_t f = 0; f <= width; ++f) {
+      m[f] = beta1 * m[f] + (1 - beta1) * grad[f];
+      v[f] = beta2 * v[f] + (1 - beta2) * grad[f] * grad[f];
+      const double m_hat = m[f] / (1 - beta1_t);
+      const double v_hat = v[f] / (1 - beta2_t);
+      const double step =
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + eps);
+      if (f < width) {
+        weights_[f] -= step;
+      } else {
+        bias_ -= step;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProba(std::span<const double> x) const {
+  const std::vector<double> scaled = standardizer_.Transform(x);
+  double z = bias_;
+  for (size_t f = 0; f < weights_.size() && f < scaled.size(); ++f) {
+    z += weights_[f] * scaled[f];
+  }
+  return Sigmoid(z);
+}
+
+}  // namespace mochy

@@ -1,0 +1,37 @@
+// L2-regularized logistic regression trained with Adam on standardized
+// features (one of the five Table 4 classifiers).
+#ifndef MOCHY_ML_LOGISTIC_H_
+#define MOCHY_ML_LOGISTIC_H_
+
+#include "ml/classifier.h"
+
+namespace mochy {
+
+struct LogisticOptions {
+  double learning_rate = 0.05;
+  double l2 = 1e-3;
+  int epochs = 300;
+  uint64_t seed = 1;
+};
+
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(const LogisticOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(std::span<const double> x) const override;
+
+  /// Learned weights (standardized feature space); exposed for tests.
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  LogisticOptions options_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_LOGISTIC_H_

@@ -1,0 +1,57 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mochy {
+
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<double>& scores) {
+  if (labels.empty() || labels.size() != scores.size()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int predicted = scores[i] >= 0.5 ? 1 : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double AucScore(const std::vector<int>& labels,
+                const std::vector<double>& scores) {
+  if (labels.empty() || labels.size() != scores.size()) return 0.5;
+  std::vector<size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks over tied scores.
+  std::vector<double> rank(labels.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  size_t positives = 0;
+  for (size_t idx = 0; idx < labels.size(); ++idx) {
+    if (labels[idx] == 1) {
+      positive_rank_sum += rank[idx];
+      ++positives;
+    }
+  }
+  const size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace mochy

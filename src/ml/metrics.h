@@ -1,0 +1,20 @@
+// Classification metrics reported in Table 4: accuracy and AUC.
+#ifndef MOCHY_ML_METRICS_H_
+#define MOCHY_ML_METRICS_H_
+
+#include <vector>
+
+namespace mochy {
+
+/// Fraction of scores on the correct side of 0.5. Empty input -> 0.
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<double>& scores);
+
+/// Area under the ROC curve via the rank statistic (Mann-Whitney U), with
+/// midrank tie handling. Returns 0.5 when a class is absent.
+double AucScore(const std::vector<int>& labels,
+                const std::vector<double>& scores);
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_METRICS_H_

@@ -1,0 +1,132 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mochy {
+
+namespace {
+inline double Sigmoid(double z) {
+  if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double MlpClassifier::Forward(const std::vector<double>& x,
+                              std::vector<double>* hidden) const {
+  const size_t h = options_.hidden_units;
+  hidden->assign(h, 0.0);
+  for (size_t j = 0; j < h; ++j) {
+    double z = b1_[j];
+    const double* row = &w1_[j * input_width_];
+    for (size_t f = 0; f < input_width_; ++f) z += row[f] * x[f];
+    (*hidden)[j] = z > 0.0 ? z : 0.0;  // ReLU
+  }
+  double z = b2_;
+  for (size_t j = 0; j < h; ++j) z += w2_[j] * (*hidden)[j];
+  return Sigmoid(z);
+}
+
+Status MlpClassifier::Fit(const Dataset& train) {
+  MOCHY_RETURN_IF_ERROR(train.Validate());
+  if (train.size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (options_.hidden_units == 0 || options_.batch_size == 0) {
+    return Status::InvalidArgument("hidden_units and batch_size must be > 0");
+  }
+  standardizer_ = Standardizer::Fit(train);
+  Dataset data = train;
+  standardizer_.Apply(&data);
+  input_width_ = data.num_features();
+
+  const size_t h = options_.hidden_units;
+  Rng rng(options_.seed);
+  // He initialization for the ReLU layer.
+  const double scale1 =
+      std::sqrt(2.0 / std::max<size_t>(1, input_width_));
+  w1_.assign(h * input_width_, 0.0);
+  for (double& w : w1_) w = rng.Normal() * scale1;
+  b1_.assign(h, 0.0);
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(h));
+  w2_.assign(h, 0.0);
+  for (double& w : w2_) w = rng.Normal() * scale2;
+  b2_ = 0.0;
+
+  // Adam state over all parameters, flattened.
+  const size_t params = w1_.size() + b1_.size() + w2_.size() + 1;
+  std::vector<double> m(params, 0.0), v(params, 0.0), grad(params, 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  double beta1_t = 1.0, beta2_t = 1.0;
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> hidden(h, 0.0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      const size_t stop = std::min(order.size(), start + options_.batch_size);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      for (size_t idx = start; idx < stop; ++idx) {
+        const auto& x = data.features[order[idx]];
+        const double y = static_cast<double>(data.labels[order[idx]]);
+        const double p = Forward(x, &hidden);
+        const double delta_out = p - y;  // dLoss/dz for sigmoid + log loss
+        // Output layer gradients.
+        for (size_t j = 0; j < h; ++j) {
+          grad[w1_.size() + h + j] += delta_out * hidden[j];
+        }
+        grad[params - 1] += delta_out;
+        // Hidden layer gradients.
+        for (size_t j = 0; j < h; ++j) {
+          if (hidden[j] <= 0.0) continue;  // ReLU gate
+          const double delta_h = delta_out * w2_[j];
+          double* g_row = &grad[j * input_width_];
+          for (size_t f = 0; f < input_width_; ++f) {
+            g_row[f] += delta_h * x[f];
+          }
+          grad[w1_.size() + j] += delta_h;
+        }
+      }
+      const double batch = static_cast<double>(stop - start);
+      beta1_t *= beta1;
+      beta2_t *= beta2;
+      auto adam_step = [&](size_t index, double* param, double l2) {
+        double g = grad[index] / batch + l2 * (*param);
+        m[index] = beta1 * m[index] + (1 - beta1) * g;
+        v[index] = beta2 * v[index] + (1 - beta2) * g * g;
+        const double m_hat = m[index] / (1 - beta1_t);
+        const double v_hat = v[index] / (1 - beta2_t);
+        *param -= options_.learning_rate * m_hat / (std::sqrt(v_hat) + eps);
+      };
+      for (size_t i = 0; i < w1_.size(); ++i) {
+        adam_step(i, &w1_[i], options_.l2);
+      }
+      for (size_t j = 0; j < h; ++j) {
+        adam_step(w1_.size() + j, &b1_[j], 0.0);
+      }
+      for (size_t j = 0; j < h; ++j) {
+        adam_step(w1_.size() + h + j, &w2_[j], options_.l2);
+      }
+      adam_step(params - 1, &b2_, 0.0);
+    }
+  }
+  return Status::OK();
+}
+
+double MlpClassifier::PredictProba(std::span<const double> x) const {
+  if (w1_.empty()) return 0.5;
+  const std::vector<double> scaled = standardizer_.Transform(x);
+  std::vector<double> padded = scaled;
+  padded.resize(input_width_, 0.0);
+  std::vector<double> hidden;
+  return Forward(padded, &hidden);
+}
+
+}  // namespace mochy

@@ -1,0 +1,40 @@
+// Multi-layer perceptron: one ReLU hidden layer, sigmoid output, Adam with
+// mini-batches (mirrors the sklearn MLPClassifier used for Table 4).
+#ifndef MOCHY_ML_MLP_H_
+#define MOCHY_ML_MLP_H_
+
+#include "ml/classifier.h"
+
+namespace mochy {
+
+struct MlpOptions {
+  size_t hidden_units = 32;
+  double learning_rate = 0.01;
+  double l2 = 1e-4;
+  int epochs = 120;
+  size_t batch_size = 32;
+  uint64_t seed = 1;
+};
+
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(const MlpOptions& options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(std::span<const double> x) const override;
+
+ private:
+  double Forward(const std::vector<double>& x,
+                 std::vector<double>* hidden) const;
+
+  MlpOptions options_;
+  Standardizer standardizer_;
+  size_t input_width_ = 0;
+  // Row-major [hidden][input] weights, hidden biases, output weights/bias.
+  std::vector<double> w1_, b1_, w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_MLP_H_

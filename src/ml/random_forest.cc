@@ -1,0 +1,48 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mochy {
+
+Status RandomForest::Fit(const Dataset& train) {
+  MOCHY_RETURN_IF_ERROR(train.Validate());
+  if (train.size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (options_.num_trees <= 0) {
+    return Status::InvalidArgument("need at least one tree");
+  }
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  Rng rng(options_.seed);
+  const size_t n = train.size();
+  for (int t = 0; t < options_.num_trees; ++t) {
+    DecisionTreeOptions tree_options = options_.tree;
+    if (tree_options.max_features == 0) {
+      tree_options.max_features = static_cast<size_t>(
+          std::max(1.0, std::round(std::sqrt(
+                            static_cast<double>(train.num_features())))));
+    }
+    tree_options.seed = rng();
+    // Bootstrap sample with replacement.
+    std::vector<size_t> rows(n);
+    for (size_t i = 0; i < n; ++i) {
+      rows[i] = static_cast<size_t>(rng.UniformInt(n));
+    }
+    DecisionTree tree(tree_options);
+    MOCHY_RETURN_IF_ERROR(tree.FitIndices(train, rows));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProba(std::span<const double> x) const {
+  if (trees_.empty()) return 0.5;
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.PredictProba(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace mochy

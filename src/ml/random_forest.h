@@ -1,0 +1,35 @@
+// Random forest: bagged CART trees with per-split feature subsampling.
+#ifndef MOCHY_ML_RANDOM_FOREST_H_
+#define MOCHY_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace mochy {
+
+struct RandomForestOptions {
+  int num_trees = 40;
+  DecisionTreeOptions tree;  ///< tree.max_features 0 => sqrt(#features)
+  uint64_t seed = 1;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(const RandomForestOptions& options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(std::span<const double> x) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_ML_RANDOM_FOREST_H_

@@ -1,0 +1,73 @@
+#include "motif/counts.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mochy {
+
+int MotifCounts::Check(int id) {
+  MOCHY_DCHECK(id >= 1 && id <= kNumHMotifs);
+  return id - 1;
+}
+
+double MotifCounts::Total() const {
+  double sum = 0.0;
+  for (double c : counts_) sum += c;
+  return sum;
+}
+
+double MotifCounts::TotalOpen() const {
+  double sum = 0.0;
+  for (int id = 17; id <= 22; ++id) sum += counts_[id - 1];
+  return sum;
+}
+
+double MotifCounts::TotalClosed() const { return Total() - TotalOpen(); }
+
+MotifCounts& MotifCounts::operator+=(const MotifCounts& other) {
+  for (int i = 0; i < kNumHMotifs; ++i) counts_[i] += other.counts_[i];
+  return *this;
+}
+
+MotifCounts& MotifCounts::operator*=(double factor) {
+  for (double& c : counts_) c *= factor;
+  return *this;
+}
+
+MotifCounts MotifCounts::Mean(const std::vector<MotifCounts>& many) {
+  MotifCounts mean;
+  if (many.empty()) return mean;
+  for (const MotifCounts& one : many) mean += one;
+  mean *= 1.0 / static_cast<double>(many.size());
+  return mean;
+}
+
+double MotifCounts::RelativeError(const MotifCounts& reference) const {
+  double abs_diff = 0.0;
+  double total = 0.0;
+  for (int i = 0; i < kNumHMotifs; ++i) {
+    abs_diff += std::abs(counts_[i] - reference.counts_[i]);
+    total += reference.counts_[i];
+  }
+  if (total == 0.0) {
+    return abs_diff == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return abs_diff / total;
+}
+
+std::string MotifCounts::ToString() const {
+  std::string out;
+  char line[64];
+  for (int id = 1; id <= kNumHMotifs; ++id) {
+    std::snprintf(line, sizeof(line), "h-motif %2d: %.6g\n", id,
+                  counts_[id - 1]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mochy

@@ -1,0 +1,52 @@
+// Container for per-motif instance counts / estimates.
+#ifndef MOCHY_MOTIF_COUNTS_H_
+#define MOCHY_MOTIF_COUNTS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "motif/pattern.h"
+
+namespace mochy {
+
+/// Counts (exact) or estimates (approximate) of instances per h-motif.
+/// Values are doubles: exact counts stay integral far beyond any dataset
+/// here (2^53), estimates are inherently fractional after rescaling.
+class MotifCounts {
+ public:
+  MotifCounts() { counts_.fill(0.0); }
+
+  /// Count of motif `id` in [1, 26].
+  double operator[](int id) const { return counts_[Check(id)]; }
+  double& operator[](int id) { return counts_[Check(id)]; }
+
+  /// Sum of all 26 counts.
+  double Total() const;
+
+  /// Sum over open (17-22) or closed motifs only.
+  double TotalOpen() const;
+  double TotalClosed() const;
+
+  MotifCounts& operator+=(const MotifCounts& other);
+  MotifCounts& operator*=(double factor);
+
+  /// Element-wise average of several count vectors.
+  static MotifCounts Mean(const std::vector<MotifCounts>& many);
+
+  /// Relative error sum_t |a[t]-b[t]| / sum_t b[t] with `b` the reference
+  /// (the accuracy measure of paper Section 4.5). Returns 0 when the
+  /// reference is all-zero and `a` is too; infinity if only `a` differs.
+  double RelativeError(const MotifCounts& reference) const;
+
+  /// One line per motif: "h-motif  7: 123456".
+  std::string ToString() const;
+
+ private:
+  static int Check(int id);
+  std::array<double, kNumHMotifs> counts_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_COUNTS_H_

@@ -1,0 +1,85 @@
+#include "motif/enumerate.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+#include "motif/pattern.h"
+
+namespace mochy {
+
+namespace {
+
+template <typename Visit>
+void EnumerateFromHub(const Hypergraph& graph,
+                      const ProjectedGraph& projection, EdgeId ei,
+                      Visit&& visit) {
+  const auto nbrs = projection.neighbors(ei);
+  const uint64_t size_i = graph.edge_size(ei);
+  for (size_t a = 0; a < nbrs.size(); ++a) {
+    const EdgeId ej = nbrs[a].edge;
+    const uint64_t w_ij = nbrs[a].weight;
+    const uint64_t size_j = graph.edge_size(ej);
+    for (size_t b = a + 1; b < nbrs.size(); ++b) {
+      const EdgeId ek = nbrs[b].edge;
+      const uint64_t w_jk = projection.Weight(ej, ek);
+      if (w_jk != 0 && ei >= std::min(ej, ek)) continue;
+      const uint64_t w_ik = nbrs[b].weight;
+      const uint64_t size_k = graph.edge_size(ek);
+      const uint64_t w_ijk =
+          w_jk == 0 ? 0 : graph.TripleIntersectionSize(ei, ej, ek);
+      // id 0 = triple with duplicated hyperedges (no h-motif, Figure 4).
+      const int id =
+          ClassifyMotifOrZero(size_i, size_j, size_k, w_ij, w_jk, w_ik, w_ijk);
+      if (id != 0) visit(MotifInstance{ei, ej, ek, id});
+    }
+  }
+}
+
+}  // namespace
+
+void EnumerateInstances(const Hypergraph& graph,
+                        const ProjectedGraph& projection,
+                        const std::function<void(const MotifInstance&)>& fn) {
+  MOCHY_CHECK(projection.num_edges() == graph.num_edges());
+  for (EdgeId ei = 0; ei < graph.num_edges(); ++ei) {
+    EnumerateFromHub(graph, projection, ei, fn);
+  }
+}
+
+void EnumerateInstancesParallel(
+    const Hypergraph& graph, const ProjectedGraph& projection,
+    size_t num_threads,
+    const std::function<void(size_t thread, const MotifInstance&)>& fn) {
+  MOCHY_CHECK(projection.num_edges() == graph.num_edges());
+  if (num_threads == 0) num_threads = 1;
+  const size_t m = graph.num_edges();
+  std::atomic<size_t> next_hub{0};
+  auto worker = [&](size_t thread) {
+    while (true) {
+      const size_t i = next_hub.fetch_add(1, std::memory_order_relaxed);
+      if (i >= m) return;
+      EnumerateFromHub(graph, projection, static_cast<EdgeId>(i),
+                       [&](const MotifInstance& inst) { fn(thread, inst); });
+    }
+  };
+  if (num_threads == 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+}
+
+std::vector<MotifInstance> CollectInstances(const Hypergraph& graph,
+                                            const ProjectedGraph& projection) {
+  std::vector<MotifInstance> out;
+  EnumerateInstances(graph, projection,
+                     [&](const MotifInstance& inst) { out.push_back(inst); });
+  return out;
+}
+
+}  // namespace mochy

@@ -1,0 +1,45 @@
+// MoCHy-E-ENUM: h-motif instance enumeration (paper Algorithm 3).
+//
+// Visits every h-motif instance exactly once and hands it to a callback
+// together with its motif id. Counting, per-edge feature extraction
+// (Table 4's HM26 features), and instance materialization are all thin
+// wrappers over this.
+#ifndef MOCHY_MOTIF_ENUMERATE_H_
+#define MOCHY_MOTIF_ENUMERATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+#include "motif/pattern.h"
+
+namespace mochy {
+
+/// One enumerated instance: the three hyperedges (i is the hub the
+/// instance was discovered from) and the motif id in [1, 26].
+struct MotifInstance {
+  EdgeId i, j, k;
+  int motif;
+};
+
+/// Calls `fn` once per h-motif instance, in deterministic (hub-major)
+/// order. Single-threaded.
+void EnumerateInstances(const Hypergraph& graph,
+                        const ProjectedGraph& projection,
+                        const std::function<void(const MotifInstance&)>& fn);
+
+/// Parallel enumeration: `fn(thread, instance)` may be called concurrently
+/// from different threads; instances are still visited exactly once.
+void EnumerateInstancesParallel(
+    const Hypergraph& graph, const ProjectedGraph& projection,
+    size_t num_threads,
+    const std::function<void(size_t thread, const MotifInstance&)>& fn);
+
+/// Materializes all instances (small graphs / tests only).
+std::vector<MotifInstance> CollectInstances(const Hypergraph& graph,
+                                            const ProjectedGraph& projection);
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_ENUMERATE_H_

@@ -1,0 +1,32 @@
+// MoCHy-A: approximate h-motif counting via hyperedge sampling
+// (paper Algorithm 4).
+//
+// Samples s hyperedges uniformly with replacement; for each sample e_i it
+// visits every instance containing e_i (via 1-hop and 2-hop projected
+// neighbors) and finally rescales by |E| / (3s), which makes every
+// per-motif estimate unbiased (Theorem 2).
+#ifndef MOCHY_MOTIF_MOCHY_A_H_
+#define MOCHY_MOTIF_MOCHY_A_H_
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+#include "motif/counts.h"
+
+namespace mochy {
+
+struct MochyAOptions {
+  uint64_t num_samples = 1000;  ///< s — hyperedge samples (with replacement)
+  uint64_t seed = 1;            ///< RNG seed; same seed => same estimate
+  size_t num_threads = 1;       ///< samples are processed in parallel
+};
+
+/// Unbiased estimates of all 26 motif counts via hyperedge sampling.
+MotifCounts CountMotifsEdgeSample(const Hypergraph& graph,
+                                  const ProjectedGraph& projection,
+                                  const MochyAOptions& options);
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_MOCHY_A_H_

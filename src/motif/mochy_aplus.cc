@@ -1,0 +1,160 @@
+#include "motif/mochy_aplus.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mochy {
+
+namespace {
+
+/// Visits every h-motif instance containing the wedge {e_i, e_j} and
+/// increments raw counts. `stamp_i` / `stamp_j` are |E|-sized scratch
+/// arrays (all zero on entry and exit).
+void ProcessWedge(const Hypergraph& graph, EdgeId ei, EdgeId ej,
+                  uint64_t w_ij, std::span<const Neighbor> nbrs_i,
+                  std::span<const Neighbor> nbrs_j,
+                  std::vector<uint32_t>& stamp_i,
+                  std::vector<uint32_t>& stamp_j, MotifCounts& raw) {
+  const uint64_t size_i = graph.edge_size(ei);
+  const uint64_t size_j = graph.edge_size(ej);
+  for (const Neighbor& n : nbrs_j) stamp_j[n.edge] = n.weight;
+
+  // e_k in N(e_i): w_ik from the list, w_jk from the stamp.
+  for (const Neighbor& n : nbrs_i) {
+    const EdgeId ek = n.edge;
+    if (ek == ej) continue;
+    stamp_i[ek] = n.weight;
+    const uint64_t w_ik = n.weight;
+    const uint64_t w_jk = stamp_j[ek];
+    const uint64_t size_k = graph.edge_size(ek);
+    const uint64_t w_ijk =
+        w_jk == 0 ? 0 : graph.TripleIntersectionSize(ei, ej, ek);
+    // id 0 = triple with duplicated hyperedges (no h-motif, Figure 4).
+    const int id = ClassifyMotifOrZero(size_i, size_j, size_k, w_ij, w_jk,
+                                       w_ik, w_ijk);
+    if (id != 0) raw[id] += 1.0;
+  }
+  // e_k in N(e_j) \ N(e_i): w_ik = 0, hence open with hub e_j.
+  for (const Neighbor& n : nbrs_j) {
+    const EdgeId ek = n.edge;
+    if (ek == ei || stamp_i[ek] != 0) continue;
+    const uint64_t size_k = graph.edge_size(ek);
+    const int id = ClassifyMotifOrZero(size_i, size_j, size_k, w_ij,
+                                       /*w_jk=*/n.weight, /*w_ik=*/0,
+                                       /*w_ijk=*/0);
+    if (id != 0) raw[id] += 1.0;
+  }
+
+  for (const Neighbor& n : nbrs_i) stamp_i[n.edge] = 0;
+  for (const Neighbor& n : nbrs_j) stamp_j[n.edge] = 0;
+}
+
+/// Applies the Theorem-4 rescaling: raw counts -> unbiased estimates.
+void RescaleWedgeEstimates(uint64_t num_wedges, uint64_t num_samples,
+                           MotifCounts* counts) {
+  const double wedges = static_cast<double>(num_wedges);
+  const double r = static_cast<double>(num_samples);
+  for (int id = 1; id <= kNumHMotifs; ++id) {
+    const double wedges_per_instance = IsOpenMotif(id) ? 2.0 : 3.0;
+    (*counts)[id] *= wedges / (wedges_per_instance * r);
+  }
+}
+
+}  // namespace
+
+MotifCounts CountMotifsWedgeSample(const Hypergraph& graph,
+                                   const ProjectedGraph& projection,
+                                   const MochyAPlusOptions& options) {
+  MOCHY_CHECK(projection.num_edges() == graph.num_edges());
+  const size_t m = graph.num_edges();
+  MotifCounts total;
+  const uint64_t wedges = projection.num_wedges();
+  if (m == 0 || wedges == 0 || options.num_samples == 0) return total;
+
+  size_t num_threads = options.num_threads == 0 ? 1 : options.num_threads;
+  if (num_threads > options.num_samples) {
+    num_threads = static_cast<size_t>(options.num_samples);
+  }
+  std::vector<MotifCounts> partial(num_threads);
+  const Rng base(options.seed);
+
+  auto worker = [&](size_t thread) {
+    std::vector<uint32_t> stamp_i(m, 0), stamp_j(m, 0);
+    for (uint64_t n = thread; n < options.num_samples; n += num_threads) {
+      Rng rng = base.Fork(n);
+      const uint64_t k = rng.UniformInt(wedges);
+      const auto [ei, ej] = projection.WedgeAt(k);
+      const uint64_t w_ij = projection.Weight(ei, ej);
+      MOCHY_DCHECK(w_ij > 0);
+      ProcessWedge(graph, ei, ej, w_ij, projection.neighbors(ei),
+                   projection.neighbors(ej), stamp_i, stamp_j,
+                   partial[thread]);
+    }
+  };
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (auto& th : threads) th.join();
+  }
+
+  for (const MotifCounts& part : partial) total += part;
+  RescaleWedgeEstimates(wedges, options.num_samples, &total);
+  return total;
+}
+
+MotifCounts CountMotifsWedgeSampleOnTheFly(
+    const Hypergraph& graph, const ProjectedDegrees& degrees,
+    const MochyAPlusOptions& options,
+    const LazyProjectionOptions& lazy_options,
+    LazyProjection::Stats* stats_out) {
+  const size_t m = graph.num_edges();
+  MotifCounts total;
+  const uint64_t wedges = degrees.num_wedges;
+  MOCHY_CHECK(degrees.wedge_prefix.size() == m + 1)
+      << "degrees not computed for this hypergraph";
+  if (m == 0 || wedges == 0 || options.num_samples == 0) return total;
+
+  LazyProjection lazy(graph, lazy_options);
+  std::vector<uint32_t> stamp_i(m, 0), stamp_j(m, 0);
+  std::vector<Neighbor> nbrs_i;  // copy: the lazy reference is transient
+  const Rng base(options.seed);
+  for (uint64_t n = 0; n < options.num_samples; ++n) {
+    Rng rng = base.Fork(n);
+    const uint64_t k = rng.UniformInt(wedges);
+    // Map the wedge index to (e_i, e_j): binary search the prefix sums,
+    // then pick the `within`-th neighbor with id > e_i (a suffix of the
+    // sorted neighborhood).
+    const auto it = std::upper_bound(degrees.wedge_prefix.begin(),
+                                     degrees.wedge_prefix.end(), k);
+    const size_t e = static_cast<size_t>(it - degrees.wedge_prefix.begin()) - 1;
+    const uint64_t within = k - degrees.wedge_prefix[e];
+    const EdgeId ei = static_cast<EdgeId>(e);
+    {
+      const std::vector<Neighbor>& ref = lazy.Neighborhood(ei);
+      nbrs_i.assign(ref.begin(), ref.end());
+    }
+    const auto suffix = std::upper_bound(
+        nbrs_i.begin(), nbrs_i.end(), ei,
+        [](EdgeId lhs, const Neighbor& rhs) { return lhs < rhs.edge; });
+    const Neighbor& picked = *(suffix + static_cast<int64_t>(within));
+    const EdgeId ej = picked.edge;
+    const uint64_t w_ij = picked.weight;
+    const std::vector<Neighbor>& nbrs_j = lazy.Neighborhood(ej);
+    ProcessWedge(graph, ei, ej, w_ij,
+                 std::span<const Neighbor>(nbrs_i.data(), nbrs_i.size()),
+                 std::span<const Neighbor>(nbrs_j.data(), nbrs_j.size()),
+                 stamp_i, stamp_j, total);
+  }
+  RescaleWedgeEstimates(wedges, options.num_samples, &total);
+  if (stats_out != nullptr) *stats_out = lazy.stats();
+  return total;
+}
+
+}  // namespace mochy

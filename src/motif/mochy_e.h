@@ -1,0 +1,31 @@
+// MoCHy-E: exact h-motif counting (paper Algorithm 2).
+//
+// For every hyperedge e_i and every unordered pair {e_j, e_k} of its
+// projected-graph neighbors, the triple {e_i, e_j, e_k} is an h-motif
+// instance. Open instances (e_j ∩ e_k = ∅) are visited exactly once (at
+// their unique "hub"); closed instances are visited three times, so they
+// are counted only when i < min(j, k). Complexity
+// O(Σ_e |e| · |N_e|²) (Theorem 1).
+#ifndef MOCHY_MOTIF_MOCHY_E_H_
+#define MOCHY_MOTIF_MOCHY_E_H_
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+#include "motif/counts.h"
+
+namespace mochy {
+
+/// Exactly counts every h-motif's instances. `num_threads` parallelizes
+/// over hub hyperedges (Section 3.4); the result is identical for any
+/// thread count.
+MotifCounts CountMotifsExact(const Hypergraph& graph,
+                             const ProjectedGraph& projection,
+                             size_t num_threads = 1);
+
+/// Convenience overload that builds the projection internally.
+MotifCounts CountMotifsExact(const Hypergraph& graph,
+                             size_t num_threads = 1);
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_MOCHY_E_H_

@@ -1,0 +1,83 @@
+// Hypergraph motifs (h-motifs), paper Section 2.2.
+//
+// The connectivity pattern of three connected hyperedges (a, b, c) is the
+// emptiness of the 7 Venn regions:
+//   d_a = a\b\c,  d_b = b\c\a,  d_c = c\a\b,
+//   p_ab = a∩b\c, p_bc = b∩c\a, p_ca = c∩a\b,  t = a∩b∩c.
+// We encode it as 7 bits (bit layout below), canonicalize over the 6
+// permutations of (a, b, c), and exclude patterns that imply duplicate or
+// empty hyperedges or a disconnected triple. Exactly 26 classes remain;
+// they are numbered so that every structural constraint stated in the
+// paper holds (see DESIGN.md Section 3):
+//   ids  1-16 : closed motifs with t = 1 (non-empty common core),
+//   ids 17-22 : open motifs (one disjoint pair; 17/18 are the
+//               "hyperedge plus two disjoint subsets" patterns),
+//   ids 23-26 : closed motifs with t = 0 (triangle of pairwise overlaps).
+#ifndef MOCHY_MOTIF_PATTERN_H_
+#define MOCHY_MOTIF_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mochy {
+
+/// Number of h-motifs on three hyperedges.
+inline constexpr int kNumHMotifs = 26;
+
+/// 7-bit emptiness pattern. Bit i set means the region is NON-empty.
+/// Layout: bit0=d_a, bit1=d_b, bit2=d_c, bit3=p_ab, bit4=p_bc, bit5=p_ca,
+/// bit6=t.
+using PatternBits = uint8_t;
+
+inline constexpr PatternBits kPatternDa = 1 << 0;
+inline constexpr PatternBits kPatternDb = 1 << 1;
+inline constexpr PatternBits kPatternDc = 1 << 2;
+inline constexpr PatternBits kPatternPab = 1 << 3;
+inline constexpr PatternBits kPatternPbc = 1 << 4;
+inline constexpr PatternBits kPatternPca = 1 << 5;
+inline constexpr PatternBits kPatternT = 1 << 6;
+
+/// Applies a role permutation to a pattern: `perm[x]` is the original edge
+/// (0=a,1=b,2=c) that plays role x afterwards.
+PatternBits PermutePattern(PatternBits bits, const int perm[3]);
+
+/// Lexicographically smallest encoding over the 6 role permutations.
+PatternBits CanonicalPattern(PatternBits bits);
+
+/// Whether the pattern can be realized by three connected, pairwise
+/// distinct, non-empty hyperedges.
+bool IsValidPattern(PatternBits bits);
+
+/// Motif id in [1, 26] for any valid pattern (canonical or not);
+/// 0 for invalid patterns.
+int MotifIdFromPattern(PatternBits bits);
+
+/// Canonical representative pattern of motif `id` (1-based).
+PatternBits MotifPattern(int id);
+
+/// Open motifs have two non-adjacent hyperedges; ids 17..22.
+bool IsOpenMotif(int id);
+inline bool IsClosedMotif(int id) { return !IsOpenMotif(id); }
+
+/// Classifies an instance from its region cardinalities, computed via the
+/// inclusion-exclusion of Lemma 2 from sizes |a|,|b|,|c|, pairwise
+/// intersections w_ab, w_bc, w_ca and the triple intersection w_abc.
+/// Returns the motif id in [1, 26]. The inputs must describe three
+/// distinct, connected hyperedges.
+int ClassifyMotif(uint64_t size_a, uint64_t size_b, uint64_t size_c,
+                  uint64_t w_ab, uint64_t w_bc, uint64_t w_ca,
+                  uint64_t w_abc);
+
+/// Like ClassifyMotif but returns 0 instead of asserting when the
+/// cardinalities do not describe a valid instance (duplicate edges, a
+/// disconnected triple, or inconsistent intersection sizes).
+int ClassifyMotifOrZero(uint64_t size_a, uint64_t size_b, uint64_t size_c,
+                        uint64_t w_ab, uint64_t w_bc, uint64_t w_ca,
+                        uint64_t w_abc);
+
+/// Human-readable pattern of a motif id, e.g. "d=110 p=100 t=1".
+std::string MotifToString(int id);
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_PATTERN_H_

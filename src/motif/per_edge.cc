@@ -1,0 +1,19 @@
+#include "motif/per_edge.h"
+
+#include "motif/enumerate.h"
+
+namespace mochy {
+
+std::vector<std::array<double, kNumHMotifs>> ComputePerEdgeMotifCounts(
+    const Hypergraph& graph, const ProjectedGraph& projection) {
+  std::vector<std::array<double, kNumHMotifs>> rows(graph.num_edges());
+  for (auto& row : rows) row.fill(0.0);
+  EnumerateInstances(graph, projection, [&](const MotifInstance& inst) {
+    rows[inst.i][inst.motif - 1] += 1.0;
+    rows[inst.j][inst.motif - 1] += 1.0;
+    rows[inst.k][inst.motif - 1] += 1.0;
+  });
+  return rows;
+}
+
+}  // namespace mochy

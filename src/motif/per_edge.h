@@ -1,0 +1,24 @@
+// Per-hyperedge motif participation counts: for each hyperedge e, the
+// number of instances of each h-motif that contain e. These are the HM26
+// features of the paper's hyperedge-prediction case study (Table 4).
+#ifndef MOCHY_MOTIF_PER_EDGE_H_
+#define MOCHY_MOTIF_PER_EDGE_H_
+
+#include <array>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+#include "motif/pattern.h"
+
+namespace mochy {
+
+/// row[e][t-1] = number of h-motif-t instances containing hyperedge e.
+/// Exact (via full enumeration); every instance contributes to the rows of
+/// its three member hyperedges.
+std::vector<std::array<double, kNumHMotifs>> ComputePerEdgeMotifCounts(
+    const Hypergraph& graph, const ProjectedGraph& projection);
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_PER_EDGE_H_

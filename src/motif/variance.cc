@@ -1,0 +1,109 @@
+#include "motif/variance.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "motif/enumerate.h"
+
+namespace mochy {
+
+namespace {
+
+/// The hyperwedges (unordered adjacent edge pairs) of an instance, as
+/// packed pair keys. Open instances have 2, closed have 3.
+void InstanceWedges(const ProjectedGraph& projection,
+                    const MotifInstance& inst, std::vector<uint64_t>* out) {
+  out->clear();
+  const EdgeId e[3] = {inst.i, inst.j, inst.k};
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      if (projection.Weight(e[a], e[b]) > 0) {
+        out->push_back(PackPair(e[a], e[b]));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VarianceTerms ComputeVarianceTerms(const Hypergraph& graph,
+                                   const ProjectedGraph& projection) {
+  VarianceTerms terms;
+  // Bucket instances per motif.
+  std::array<std::vector<MotifInstance>, kNumHMotifs> instances;
+  EnumerateInstances(graph, projection, [&](const MotifInstance& inst) {
+    instances[inst.motif - 1].push_back(inst);
+    terms.counts[inst.motif] += 1.0;
+  });
+
+  std::vector<uint64_t> wedges_a, wedges_b;
+  for (int t = 0; t < kNumHMotifs; ++t) {
+    const auto& list = instances[t];
+    for (size_t a = 0; a < list.size(); ++a) {
+      EdgeId ea[3] = {list[a].i, list[a].j, list[a].k};
+      std::sort(ea, ea + 3);
+      InstanceWedges(projection, list[a], &wedges_a);
+      for (size_t b = a + 1; b < list.size(); ++b) {
+        EdgeId eb[3] = {list[b].i, list[b].j, list[b].k};
+        std::sort(eb, eb + 3);
+        // Shared hyperedges.
+        int shared_edges = 0;
+        for (EdgeId x : ea) {
+          for (EdgeId y : eb) {
+            if (x == y) ++shared_edges;
+          }
+        }
+        MOCHY_DCHECK(shared_edges <= 2) << "distinct instances share <= 2";
+        // Shared hyperwedges.
+        InstanceWedges(projection, list[b], &wedges_b);
+        int shared_wedges = 0;
+        for (uint64_t wa : wedges_a) {
+          for (uint64_t wb : wedges_b) {
+            if (wa == wb) ++shared_wedges;
+          }
+        }
+        MOCHY_DCHECK(shared_wedges <= 1);
+        // Ordered pairs: each unordered pair counts twice.
+        terms.p[t][static_cast<size_t>(shared_edges)] += 2.0;
+        terms.q[t][static_cast<size_t>(shared_wedges)] += 2.0;
+      }
+    }
+  }
+  return terms;
+}
+
+double MochyAVariance(const VarianceTerms& terms, int motif, uint64_t s,
+                      uint64_t num_edges) {
+  MOCHY_CHECK(motif >= 1 && motif <= kNumHMotifs);
+  MOCHY_CHECK(s > 0);
+  const double m = terms.counts[motif];
+  const double e = static_cast<double>(num_edges);
+  const double samples = static_cast<double>(s);
+  double variance = m * (e - 3.0) / (3.0 * samples);
+  for (int l = 0; l <= 2; ++l) {
+    variance += terms.p[motif - 1][static_cast<size_t>(l)] *
+                (static_cast<double>(l) * e - 9.0) / (9.0 * samples);
+  }
+  return variance;
+}
+
+double MochyAPlusVariance(const VarianceTerms& terms, int motif, uint64_t r,
+                          uint64_t num_wedges) {
+  MOCHY_CHECK(motif >= 1 && motif <= kNumHMotifs);
+  MOCHY_CHECK(r > 0);
+  const double m = terms.counts[motif];
+  const double wedges = static_cast<double>(num_wedges);
+  const double samples = static_cast<double>(r);
+  // w[t] = wedges per instance: 2 for open, 3 for closed motifs.
+  const double w = IsOpenMotif(motif) ? 2.0 : 3.0;
+  double variance = m * (wedges - w) / (w * samples);
+  for (int n = 0; n <= 1; ++n) {
+    variance += terms.q[motif - 1][static_cast<size_t>(n)] *
+                (static_cast<double>(n) * wedges - w * w) /
+                (w * w * samples);
+  }
+  return variance;
+}
+
+}  // namespace mochy

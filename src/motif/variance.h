@@ -1,0 +1,48 @@
+// Theoretical estimator variances of MoCHy-A (Theorem 2, Eq. 5) and
+// MoCHy-A+ (Theorem 4, Eqs. 7-8), plus the instance-overlap terms p_l[t]
+// and q_n[t] they depend on.
+//
+// These are exact formulas evaluated from the enumerated instance set, so
+// they are only meant for small graphs: tests use them to validate that
+// the samplers' empirical variance matches theory, and the analysis in
+// Section 3.3 (Var[A+] <= Var[A] at matched sampling ratio) can be checked
+// numerically on any dataset.
+#ifndef MOCHY_MOTIF_VARIANCE_H_
+#define MOCHY_MOTIF_VARIANCE_H_
+
+#include <array>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+#include "motif/counts.h"
+
+namespace mochy {
+
+struct VarianceTerms {
+  /// p[t-1][l] = number of ordered pairs (distinct instances) of h-motif t
+  /// sharing exactly l hyperedges, l in {0, 1, 2}.
+  std::array<std::array<double, 3>, kNumHMotifs> p{};
+  /// q[t-1][n] = number of ordered pairs of h-motif t's instances sharing
+  /// exactly n hyperwedges, n in {0, 1}.
+  std::array<std::array<double, 2>, kNumHMotifs> q{};
+  /// Exact counts M[t], for convenience.
+  MotifCounts counts;
+};
+
+/// Enumerates all instances and computes the overlap terms. O(I^2) over
+/// the per-motif instance lists — small graphs only.
+VarianceTerms ComputeVarianceTerms(const Hypergraph& graph,
+                                   const ProjectedGraph& projection);
+
+/// Var[M-bar[t]] of MoCHy-A with s hyperedge samples (Eq. 5).
+double MochyAVariance(const VarianceTerms& terms, int motif, uint64_t s,
+                      uint64_t num_edges);
+
+/// Var[M-hat[t]] of MoCHy-A+ with r hyperwedge samples (Eq. 7 for closed,
+/// Eq. 8 for open motifs).
+double MochyAPlusVariance(const VarianceTerms& terms, int motif, uint64_t r,
+                          uint64_t num_wedges);
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_VARIANCE_H_

@@ -1,0 +1,110 @@
+#include "profile/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "motif/mochy_aplus.h"
+#include "motif/mochy_e.h"
+#include "random/chung_lu.h"
+
+namespace mochy {
+
+ProfileVector ComputeSignificance(const MotifCounts& real,
+                                  const MotifCounts& random_mean,
+                                  double epsilon) {
+  ProfileVector delta{};
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    const double m = real[t];
+    const double mr = random_mean[t];
+    delta[t - 1] = (m - mr) / (m + mr + epsilon);
+  }
+  return delta;
+}
+
+ProfileVector NormalizeProfile(const ProfileVector& delta) {
+  double sum_sq = 0.0;
+  for (double d : delta) sum_sq += d * d;
+  ProfileVector cp{};
+  if (sum_sq <= 0.0) return cp;
+  const double norm = std::sqrt(sum_sq);
+  for (int i = 0; i < kNumHMotifs; ++i) cp[i] = delta[i] / norm;
+  return cp;
+}
+
+ProfileVector RelativeCounts(const MotifCounts& real,
+                             const MotifCounts& random_mean) {
+  ProfileVector rc{};
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    const double m = real[t];
+    const double mr = random_mean[t];
+    rc[t - 1] = (m + mr) == 0.0 ? 0.0 : (m - mr) / (m + mr);
+  }
+  return rc;
+}
+
+std::array<int, kNumHMotifs> RankByCount(const MotifCounts& counts) {
+  std::array<int, kNumHMotifs> order{};
+  for (int i = 0; i < kNumHMotifs; ++i) order[i] = i + 1;
+  std::stable_sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+    if (counts[lhs] != counts[rhs]) return counts[lhs] > counts[rhs];
+    return lhs < rhs;
+  });
+  std::array<int, kNumHMotifs> rank{};
+  for (int pos = 0; pos < kNumHMotifs; ++pos) rank[order[pos] - 1] = pos + 1;
+  return rank;
+}
+
+std::array<int, kNumHMotifs> RankDifference(const MotifCounts& real,
+                                            const MotifCounts& random_mean) {
+  const auto real_rank = RankByCount(real);
+  const auto rand_rank = RankByCount(random_mean);
+  std::array<int, kNumHMotifs> diff{};
+  for (int i = 0; i < kNumHMotifs; ++i) {
+    diff[i] = std::abs(real_rank[i] - rand_rank[i]);
+  }
+  return diff;
+}
+
+Result<CharacteristicProfile> ComputeCharacteristicProfile(
+    const Hypergraph& graph, const CharacteristicProfileOptions& options) {
+  if (options.num_random_graphs <= 0) {
+    return Status::InvalidArgument("need at least one random graph");
+  }
+  CharacteristicProfile out;
+
+  auto count = [&](const Hypergraph& g) -> Result<MotifCounts> {
+    auto projection = ProjectedGraph::Build(g, options.num_threads);
+    if (!projection.ok()) return projection.status();
+    if (options.sample_ratio < 0.0) {
+      return CountMotifsExact(g, projection.value(), options.num_threads);
+    }
+    MochyAPlusOptions approx;
+    approx.num_samples = std::max<uint64_t>(
+        1, static_cast<uint64_t>(options.sample_ratio *
+                                 static_cast<double>(
+                                     projection.value().num_wedges())));
+    approx.seed = options.seed ^ 0x5bd1e995u;
+    approx.num_threads = options.num_threads;
+    return CountMotifsWedgeSample(g, projection.value(), approx);
+  };
+
+  MOCHY_ASSIGN_OR_RETURN(out.real_counts, count(graph));
+
+  std::vector<MotifCounts> random_counts;
+  random_counts.reserve(options.num_random_graphs);
+  for (int i = 0; i < options.num_random_graphs; ++i) {
+    ChungLuOptions cl;
+    cl.seed = options.seed + 0x9e3779b9u * static_cast<uint64_t>(i + 1);
+    MOCHY_ASSIGN_OR_RETURN(Hypergraph random_graph,
+                           GenerateChungLu(graph, cl));
+    MOCHY_ASSIGN_OR_RETURN(MotifCounts counts, count(random_graph));
+    random_counts.push_back(counts);
+  }
+  out.random_mean = MotifCounts::Mean(random_counts);
+  out.delta =
+      ComputeSignificance(out.real_counts, out.random_mean, options.epsilon);
+  out.cp = NormalizeProfile(out.delta);
+  return out;
+}
+
+}  // namespace mochy

@@ -1,0 +1,67 @@
+// Motif significance Δt (Eq. 1) and the characteristic profile CP (Eq. 2),
+// plus the Table 3 derived quantities (relative counts, rank differences).
+#ifndef MOCHY_PROFILE_SIGNIFICANCE_H_
+#define MOCHY_PROFILE_SIGNIFICANCE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+#include "motif/counts.h"
+
+namespace mochy {
+
+/// 26-dimensional profile vector (index t-1 holds motif t's value).
+using ProfileVector = std::array<double, kNumHMotifs>;
+
+/// Δt = (M[t] - Mrand[t]) / (M[t] + Mrand[t] + eps), the paper's Eq. (1)
+/// with eps = 1 by default.
+ProfileVector ComputeSignificance(const MotifCounts& real,
+                                  const MotifCounts& random_mean,
+                                  double epsilon = 1.0);
+
+/// CP_t = Δt / sqrt(Σ Δ²) — unit-normalized significance (Eq. 2). An
+/// all-zero Δ maps to the all-zero CP.
+ProfileVector NormalizeProfile(const ProfileVector& delta);
+
+/// Relative count (M[t]-Mrand[t]) / (M[t]+Mrand[t]), Table 3's "RC"
+/// (0 when both counts are 0).
+ProfileVector RelativeCounts(const MotifCounts& real,
+                             const MotifCounts& random_mean);
+
+/// Ranks motifs by count descending: result[t-1] = rank of motif t,
+/// 1 = most frequent. Ties broken by motif id.
+std::array<int, kNumHMotifs> RankByCount(const MotifCounts& counts);
+
+/// |rank difference| per motif between two count vectors (Table 3's "RD").
+std::array<int, kNumHMotifs> RankDifference(const MotifCounts& real,
+                                            const MotifCounts& random_mean);
+
+struct CharacteristicProfileOptions {
+  int num_random_graphs = 5;     ///< null-model samples averaged (paper: 5)
+  uint64_t seed = 1;
+  size_t num_threads = 1;
+  double epsilon = 1.0;
+  /// < 0 means exact counting (MoCHy-E); otherwise MoCHy-A+ with
+  /// r = sample_ratio * |∧| wedge samples.
+  double sample_ratio = -1.0;
+};
+
+struct CharacteristicProfile {
+  MotifCounts real_counts;
+  MotifCounts random_mean;
+  ProfileVector delta;  ///< significance
+  ProfileVector cp;     ///< normalized significance
+};
+
+/// End-to-end pipeline: count motifs in `graph` and in
+/// `options.num_random_graphs` Chung-Lu randomizations, then compute Δ and
+/// CP. This is the computation behind Figures 1, 5 and 9.
+Result<CharacteristicProfile> ComputeCharacteristicProfile(
+    const Hypergraph& graph, const CharacteristicProfileOptions& options = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_PROFILE_SIGNIFICANCE_H_

@@ -1,0 +1,100 @@
+#include "profile/similarity.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mochy {
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+Result<std::vector<std::vector<double>>> CorrelationMatrix(
+    const std::vector<std::vector<double>>& profiles) {
+  const size_t n = profiles.size();
+  for (const auto& p : profiles) {
+    if (p.size() != profiles.front().size()) {
+      return Status::InvalidArgument("profiles have mixed dimensionality");
+    }
+  }
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 1.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double c = PearsonCorrelation(profiles[i], profiles[j]);
+      matrix[i][j] = c;
+      matrix[j][i] = c;
+    }
+  }
+  return matrix;
+}
+
+Result<DomainSeparation> ComputeDomainSeparation(
+    const std::vector<std::vector<double>>& matrix,
+    const std::vector<std::string>& domains) {
+  if (matrix.size() != domains.size()) {
+    return Status::InvalidArgument("matrix size does not match labels");
+  }
+  double within_sum = 0.0, across_sum = 0.0;
+  size_t within_count = 0, across_count = 0;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    if (matrix[i].size() != matrix.size()) {
+      return Status::InvalidArgument("matrix is not square");
+    }
+    for (size_t j = i + 1; j < matrix.size(); ++j) {
+      if (domains[i] == domains[j]) {
+        within_sum += matrix[i][j];
+        ++within_count;
+      } else {
+        across_sum += matrix[i][j];
+        ++across_count;
+      }
+    }
+  }
+  DomainSeparation out;
+  out.within_mean = within_count == 0 ? 0.0 : within_sum / within_count;
+  out.across_mean = across_count == 0 ? 0.0 : across_sum / across_count;
+  out.gap = out.within_mean - out.across_mean;
+  return out;
+}
+
+size_t LeaveOneOutDomainAccuracy(
+    const std::vector<std::vector<double>>& profiles,
+    const std::vector<std::string>& domains) {
+  size_t correct = 0;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    // Nearest other profile's domain (1-NN with Pearson similarity).
+    double best = -std::numeric_limits<double>::infinity();
+    size_t best_j = i;
+    for (size_t j = 0; j < profiles.size(); ++j) {
+      if (j == i) continue;
+      const double c = PearsonCorrelation(profiles[i], profiles[j]);
+      if (c > best) {
+        best = c;
+        best_j = j;
+      }
+    }
+    if (best_j != i && domains[best_j] == domains[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace mochy

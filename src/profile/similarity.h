@@ -1,0 +1,45 @@
+// Profile similarity (Figure 6): Pearson correlation between
+// characteristic profiles, the full similarity matrix over datasets, and
+// the within-domain vs. across-domain separation gap.
+#ifndef MOCHY_PROFILE_SIMILARITY_H_
+#define MOCHY_PROFILE_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mochy {
+
+/// Pearson correlation coefficient between two equal-length vectors.
+/// Returns 0 when either vector has zero variance.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Symmetric matrix of pairwise Pearson correlations (diagonal = 1).
+/// All profiles must share the same dimensionality.
+Result<std::vector<std::vector<double>>> CorrelationMatrix(
+    const std::vector<std::vector<double>>& profiles);
+
+struct DomainSeparation {
+  double within_mean = 0.0;   ///< mean correlation, same-domain pairs
+  double across_mean = 0.0;   ///< mean correlation, cross-domain pairs
+  double gap = 0.0;           ///< within_mean - across_mean
+};
+
+/// Aggregates a similarity matrix by domain labels (paper: h-motif CPs gap
+/// 0.324 vs network-motif CPs gap 0.069).
+Result<DomainSeparation> ComputeDomainSeparation(
+    const std::vector<std::vector<double>>& matrix,
+    const std::vector<std::string>& domains);
+
+/// Nearest-centroid domain prediction from profiles (leave-one-out):
+/// returns the number of correctly classified datasets. Used by the
+/// domain-classification example.
+size_t LeaveOneOutDomainAccuracy(
+    const std::vector<std::vector<double>>& profiles,
+    const std::vector<std::string>& domains);
+
+}  // namespace mochy
+
+#endif  // MOCHY_PROFILE_SIMILARITY_H_

@@ -1,0 +1,67 @@
+#include "random/chung_lu.h"
+
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/rng.h"
+#include "hypergraph/builder.h"
+
+namespace mochy {
+
+Result<Hypergraph> GenerateChungLu(const Hypergraph& graph,
+                                   const ChungLuOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (graph.num_pins() == 0) {
+    return Status::InvalidArgument("Chung-Lu: hypergraph has no pins");
+  }
+  std::vector<double> weights(n, 0.0);
+  size_t positive = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    weights[v] = static_cast<double>(graph.degree(v));
+    if (weights[v] > 0.0) ++positive;
+  }
+  if (graph.max_edge_size() > positive) {
+    return Status::FailedPrecondition(
+        "Chung-Lu: an edge is larger than the number of active nodes");
+  }
+  MOCHY_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Build(weights));
+
+  Rng rng(options.seed);
+  HypergraphBuilder builder;
+  std::vector<NodeId> members;
+  std::vector<uint8_t> in_edge(n, 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const size_t target = graph.edge_size(e);
+    members.clear();
+    // Degree-proportional draws, rejecting within-edge repeats. If the
+    // weight distribution is so skewed that rejection stalls (e.g. an edge
+    // nearly as large as the support), fall back to uniform fill over the
+    // remaining active nodes.
+    uint64_t attempts = 0;
+    const uint64_t max_attempts = 64 * target + 256;
+    while (members.size() < target && attempts < max_attempts) {
+      ++attempts;
+      const NodeId v = static_cast<NodeId>(table.Sample(rng));
+      if (in_edge[v]) continue;
+      in_edge[v] = 1;
+      members.push_back(v);
+    }
+    if (members.size() < target) {
+      for (NodeId v = 0; v < n && members.size() < target; ++v) {
+        if (!in_edge[v] && graph.degree(v) > 0) {
+          in_edge[v] = 1;
+          members.push_back(v);
+        }
+      }
+    }
+    for (NodeId v : members) in_edge[v] = 0;
+    builder.AddEdge(std::span<const NodeId>(members.data(), members.size()));
+  }
+
+  BuildOptions build_options;
+  build_options.dedup_edges = options.dedup_edges;
+  build_options.num_nodes = n;
+  return std::move(builder).Build(build_options);
+}
+
+}  // namespace mochy

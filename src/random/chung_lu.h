@@ -1,0 +1,37 @@
+// Null model: randomized hypergraphs via the bipartite Chung-Lu model
+// (paper Section 2.3, following Aksoy et al.).
+//
+// The hypergraph is viewed as a bipartite node-hyperedge incidence graph.
+// A randomized counterpart keeps every hyperedge's size exactly and draws
+// its members independently with probability proportional to node degree,
+// so the node-degree distribution is preserved in expectation. Comparing
+// motif counts of G against this null model yields the significance Δt and
+// the characteristic profile.
+#ifndef MOCHY_RANDOM_CHUNG_LU_H_
+#define MOCHY_RANDOM_CHUNG_LU_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+struct ChungLuOptions {
+  uint64_t seed = 1;
+  /// Remove duplicate hyperedges in the sample. The paper's datasets are
+  /// deduplicated, but the null model keeps |E| fixed by default so that
+  /// counts are comparable.
+  bool dedup_edges = false;
+};
+
+/// Draws one randomized hypergraph with the same number of nodes, the same
+/// multiset of hyperedge sizes, and (in expectation) the same node-degree
+/// sequence as `graph`. Fails if `graph` has no pins, or if an edge size
+/// exceeds the number of distinct positive-degree nodes.
+Result<Hypergraph> GenerateChungLu(const Hypergraph& graph,
+                                   const ChungLuOptions& options = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_RANDOM_CHUNG_LU_H_

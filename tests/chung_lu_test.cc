@@ -1,0 +1,115 @@
+#include "random/chung_lu.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hypergraph/builder.h"
+#include "hypergraph/stats.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+TEST(ChungLuTest, PreservesEdgeSizesExactly) {
+  const Hypergraph g = testing::RandomHypergraph(50, 80, 1, 8, 1);
+  const Hypergraph random = GenerateChungLu(g).value();
+  ASSERT_EQ(random.num_edges(), g.num_edges());
+  std::vector<size_t> original_sizes, random_sizes;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    original_sizes.push_back(g.edge_size(e));
+    random_sizes.push_back(random.edge_size(e));
+  }
+  EXPECT_EQ(original_sizes, random_sizes);
+}
+
+TEST(ChungLuTest, PreservesNodeCountAndPins) {
+  const Hypergraph g = testing::RandomHypergraph(40, 60, 2, 6, 2);
+  const Hypergraph random = GenerateChungLu(g).value();
+  EXPECT_EQ(random.num_nodes(), g.num_nodes());
+  EXPECT_EQ(random.num_pins(), g.num_pins());
+}
+
+TEST(ChungLuTest, DeterministicForSeed) {
+  const Hypergraph g = testing::RandomHypergraph(30, 40, 1, 5, 3);
+  ChungLuOptions options;
+  options.seed = 55;
+  const Hypergraph a = GenerateChungLu(g, options).value();
+  const Hypergraph b = GenerateChungLu(g, options).value();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const auto ea = a.edge(e);
+    const auto eb = b.edge(e);
+    ASSERT_EQ(ea.size(), eb.size());
+    EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin()));
+  }
+  options.seed = 56;
+  const Hypergraph c = GenerateChungLu(g, options).value();
+  bool any_different = false;
+  for (EdgeId e = 0; e < a.num_edges() && !any_different; ++e) {
+    const auto ea = a.edge(e);
+    const auto ec = c.edge(e);
+    any_different = ea.size() != ec.size() ||
+                    !std::equal(ea.begin(), ea.end(), ec.begin());
+  }
+  EXPECT_TRUE(any_different) << "different seeds should differ";
+}
+
+TEST(ChungLuTest, DegreesPreservedInExpectation) {
+  // Average node degrees over many samples; they should approach the
+  // original degrees (Chung-Lu preserves degree in expectation).
+  const Hypergraph g = testing::RandomHypergraph(25, 60, 2, 6, 4);
+  const int kSamples = 60;
+  std::vector<double> mean_degree(g.num_nodes(), 0.0);
+  for (int s = 0; s < kSamples; ++s) {
+    ChungLuOptions options;
+    options.seed = 100 + s;
+    const Hypergraph random = GenerateChungLu(g, options).value();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      mean_degree[v] += static_cast<double>(random.degree(v)) / kSamples;
+    }
+  }
+  // Compare in aggregate: correlation between original and mean sampled
+  // degree should be strongly positive, and totals must match.
+  double total_original = 0.0, total_sampled = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    total_original += g.degree(v);
+    total_sampled += mean_degree[v];
+  }
+  EXPECT_NEAR(total_sampled, total_original, total_original * 0.01);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) >= 8) {
+      EXPECT_GT(mean_degree[v], 0.4 * g.degree(v)) << "node " << v;
+    }
+    if (g.degree(v) == 0) {
+      EXPECT_DOUBLE_EQ(mean_degree[v], 0.0) << "node " << v;
+    }
+  }
+}
+
+TEST(ChungLuTest, FailsOnEmptyHypergraph) {
+  const Hypergraph g;
+  EXPECT_FALSE(GenerateChungLu(g).ok());
+}
+
+TEST(ChungLuTest, HandlesEdgeSpanningAllNodes) {
+  auto g = MakeHypergraph({{0, 1, 2, 3}, {0, 1}, {2, 3}}).value();
+  const Hypergraph random = GenerateChungLu(g).value();
+  EXPECT_EQ(random.edge_size(0), 4u);
+}
+
+TEST(ChungLuTest, DedupOptionRemovesDuplicates) {
+  // Tiny graph where collisions are certain across many edges.
+  std::vector<std::vector<NodeId>> edges(30, {0, 1});
+  BuildOptions keep;
+  keep.dedup_edges = false;
+  auto g = MakeHypergraph(edges, keep).value();
+  ChungLuOptions options;
+  options.dedup_edges = true;
+  const Hypergraph random = GenerateChungLu(g, options).value();
+  EXPECT_LT(random.num_edges(), 30u);
+}
+
+}  // namespace
+}  // namespace mochy

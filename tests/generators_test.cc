@@ -1,0 +1,208 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/perturb.h"
+#include "gen/temporal.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/stats.h"
+#include "motif/mochy_e.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+class DomainSweep : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(DomainSweep, ProducesValidNonTrivialHypergraph) {
+  GeneratorConfig config = DefaultConfig(GetParam(), 0.3);
+  config.seed = 7;
+  const Hypergraph g = GenerateDomainHypergraph(config).value();
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_GT(g.num_edges(), config.num_edges / 4)
+      << "generator lost too many edges to dedup";
+  EXPECT_GT(g.num_pins(), g.num_edges());  // average size > 1
+  // The suite must contain h-motif instances to analyze at all.
+  EXPECT_GT(CountMotifsExact(g).Total(), 0.0);
+}
+
+TEST_P(DomainSweep, DeterministicInSeed) {
+  GeneratorConfig config = DefaultConfig(GetParam(), 0.15);
+  config.seed = 11;
+  const Hypergraph a = GenerateDomainHypergraph(config).value();
+  const Hypergraph b = GenerateDomainHypergraph(config).value();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const auto ea = a.edge(e);
+    const auto eb = b.edge(e);
+    ASSERT_EQ(ea.size(), eb.size());
+    EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin()));
+  }
+  config.seed = 12;
+  const Hypergraph c = GenerateDomainHypergraph(config).value();
+  EXPECT_TRUE(c.num_edges() != a.num_edges() ||
+              c.num_pins() != a.num_pins() || [&] {
+                for (EdgeId e = 0; e < a.num_edges(); ++e) {
+                  const auto ea = a.edge(e);
+                  const auto ec = c.edge(e);
+                  if (ea.size() != ec.size() ||
+                      !std::equal(ea.begin(), ea.end(), ec.begin())) {
+                    return true;
+                  }
+                }
+                return false;
+              }());
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, DomainSweep,
+                         ::testing::Values(Domain::kCoauthorship,
+                                           Domain::kContact, Domain::kEmail,
+                                           Domain::kTags, Domain::kThreads));
+
+TEST(GeneratorsTest, RejectsDegenerateConfig) {
+  GeneratorConfig config;
+  config.num_nodes = 0;
+  EXPECT_FALSE(GenerateDomainHypergraph(config).ok());
+  config.num_nodes = 10;
+  config.num_edges = 0;
+  EXPECT_FALSE(GenerateDomainHypergraph(config).ok());
+}
+
+TEST(GeneratorsTest, DomainNamesAreStable) {
+  EXPECT_EQ(DomainName(Domain::kCoauthorship), "coauth");
+  EXPECT_EQ(DomainName(Domain::kContact), "contact");
+  EXPECT_EQ(DomainName(Domain::kEmail), "email");
+  EXPECT_EQ(DomainName(Domain::kTags), "tags");
+  EXPECT_EQ(DomainName(Domain::kThreads), "threads");
+}
+
+TEST(GeneratorsTest, BenchmarkSuiteHasElevenDatasetsAcrossFiveDomains) {
+  const auto suite = GenerateBenchmarkSuite(3, 0.1);
+  EXPECT_EQ(suite.size(), 11u);
+  std::set<std::string> domains, names;
+  for (const auto& dataset : suite) {
+    domains.insert(dataset.domain);
+    names.insert(dataset.name);
+    EXPECT_TRUE(dataset.graph.Validate().ok()) << dataset.name;
+    EXPECT_GT(dataset.graph.num_edges(), 0u) << dataset.name;
+  }
+  EXPECT_EQ(domains.size(), 5u);
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(GeneratorsTest, DomainsHaveDistinctSizeProfiles) {
+  // Contact stays small and short; email produces some large edges.
+  const Hypergraph contact =
+      GenerateDomainHypergraph(DefaultConfig(Domain::kContact, 0.4)).value();
+  const Hypergraph email =
+      GenerateDomainHypergraph(DefaultConfig(Domain::kEmail, 0.4)).value();
+  EXPECT_LE(contact.max_edge_size(), 5u);
+  EXPECT_GT(email.max_edge_size(), 5u);
+}
+
+TEST(TemporalTest, ProducesRequestedYears) {
+  TemporalConfig config;
+  config.num_years = 5;
+  config.num_nodes = 300;
+  config.edges_first_year = 80;
+  config.edges_last_year = 200;
+  const auto years = GenerateTemporalCoauthorship(config).value();
+  ASSERT_EQ(years.size(), 5u);
+  for (const auto& g : years) {
+    EXPECT_TRUE(g.Validate().ok());
+    EXPECT_GT(g.num_edges(), 0u);
+  }
+  // Publication counts grow over the years (dedup may eat a few).
+  EXPECT_GT(years.back().num_edges(), years.front().num_edges());
+}
+
+TEST(TemporalTest, OpenMotifFractionIncreasesOverYears) {
+  TemporalConfig config;
+  config.num_years = 9;
+  config.num_nodes = 500;
+  config.edges_first_year = 250;
+  config.edges_last_year = 500;
+  config.seed = 5;
+  const auto years = GenerateTemporalCoauthorship(config).value();
+  auto open_fraction = [](const Hypergraph& g) {
+    const MotifCounts counts = CountMotifsExact(g);
+    return counts.Total() == 0.0 ? 0.0 : counts.TotalOpen() / counts.Total();
+  };
+  // Compare first third vs last third averages for robustness.
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    early += open_fraction(years[static_cast<size_t>(i)]) / 3.0;
+    late += open_fraction(years[years.size() - 1 - static_cast<size_t>(i)]) / 3.0;
+  }
+  EXPECT_GT(late, early)
+      << "cross-community growth should raise the open-motif fraction";
+}
+
+TEST(TemporalTest, RejectsDegenerateConfig) {
+  TemporalConfig config;
+  config.num_years = 0;
+  EXPECT_FALSE(GenerateTemporalCoauthorship(config).ok());
+  config.num_years = 3;
+  config.num_nodes = 2;
+  EXPECT_FALSE(GenerateTemporalCoauthorship(config).ok());
+}
+
+TEST(PerturbTest, ReplacesRequestedFraction) {
+  const Hypergraph g = testing::RandomHypergraph(100, 30, 4, 8, 3);
+  PerturbOptions options;
+  options.replace_fraction = 0.5;
+  const auto fakes = MakeFakeHyperedges(g, options).value();
+  ASSERT_EQ(fakes.size(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto original = g.edge(e);
+    const auto& fake = fakes[e];
+    EXPECT_EQ(fake.size(), original.size()) << "size must be preserved";
+    // Overlap with the original should be roughly half.
+    const std::set<NodeId> orig_set(original.begin(), original.end());
+    size_t kept = 0;
+    for (NodeId v : fake) kept += orig_set.count(v);
+    EXPECT_LT(kept, original.size()) << "at least one member replaced";
+    EXPECT_GE(kept, original.size() / 2 - 1);
+    // Members are distinct and sorted.
+    for (size_t i = 1; i < fake.size(); ++i) {
+      EXPECT_LT(fake[i - 1], fake[i]);
+    }
+  }
+}
+
+TEST(PerturbTest, AlwaysReplacesAtLeastOneMember) {
+  const Hypergraph g = testing::RandomHypergraph(50, 20, 1, 3, 4);
+  PerturbOptions options;
+  options.replace_fraction = 0.0;
+  const auto fakes = MakeFakeHyperedges(g, options).value();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto original = g.edge(e);
+    const std::set<NodeId> orig_set(original.begin(), original.end());
+    size_t kept = 0;
+    for (NodeId v : fakes[e]) kept += orig_set.count(v);
+    EXPECT_EQ(kept, original.size() - 1);
+  }
+}
+
+TEST(PerturbTest, RejectsBadFractionAndTinyUniverse) {
+  const Hypergraph g = testing::RandomHypergraph(20, 10, 2, 4, 5);
+  PerturbOptions options;
+  options.replace_fraction = 1.5;
+  EXPECT_FALSE(MakeFakeHyperedges(g, options).ok());
+  // Universe equal to edge size: nothing to swap in.
+  auto full = MakeHypergraph({{0, 1, 2}}).value();
+  EXPECT_FALSE(MakeFakeHyperedges(full, PerturbOptions{}).ok());
+}
+
+TEST(PerturbTest, DeterministicInSeed) {
+  const Hypergraph g = testing::RandomHypergraph(60, 15, 3, 6, 6);
+  PerturbOptions options;
+  options.seed = 44;
+  const auto a = MakeFakeHyperedges(g, options).value();
+  const auto b = MakeFakeHyperedges(g, options).value();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mochy

@@ -1,0 +1,227 @@
+// Tests for the network-motif baseline: star expansion, canonical graphlet
+// codes, ESU census vs brute force, RAND-ESU unbiasedness, network CPs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/bipartite.h"
+#include "baseline/graphlet.h"
+#include "baseline/network_cp.h"
+#include "hypergraph/builder.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+// Brute-force census: check all node subsets of size k.
+std::vector<double> BruteForceCensus(const Graph& g, int k) {
+  const GraphletRegistry& registry = GraphletRegistry::Get();
+  std::vector<double> counts(registry.NumClasses(k), 0.0);
+  const size_t n = g.num_nodes();
+  std::vector<uint32_t> subset(static_cast<size_t>(k));
+  auto record = [&]() {
+    uint32_t mask = 0;
+    for (int i = 0; i < k; ++i) {
+      for (int j = i + 1; j < k; ++j) {
+        if (g.HasEdge(subset[static_cast<size_t>(i)],
+                      subset[static_cast<size_t>(j)])) {
+          mask |= 1u << (j * (j - 1) / 2 + i);
+        }
+      }
+    }
+    const int cls = registry.ClassOf(k, CanonicalGraphletCode(k, mask));
+    if (cls >= 0) counts[static_cast<size_t>(cls)] += 1.0;
+  };
+  // Iterate k-subsets.
+  std::function<void(size_t, int)> recurse = [&](size_t start, int depth) {
+    if (depth == k) {
+      record();
+      return;
+    }
+    for (size_t v = start; v < n; ++v) {
+      subset[static_cast<size_t>(depth)] = static_cast<uint32_t>(v);
+      recurse(v + 1, depth + 1);
+    }
+  };
+  recurse(0, 0);
+  return counts;
+}
+
+TEST(GraphTest, FromEdgesNormalizes) {
+  const Graph g = Graph::FromEdges(4, {{1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);  // dedup + self-loop dropped
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(StarExpansionTest, PaperExample) {
+  auto h =
+      MakeHypergraph({{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}}).value();
+  const Graph g = StarExpansion(h);
+  EXPECT_EQ(g.num_nodes(), 8u + 4u);
+  EXPECT_EQ(g.num_edges(), h.num_pins());
+  // Node L(0) connects to hyperedge-vertices 8, 9, 10 (e1, e2, e3).
+  EXPECT_TRUE(g.HasEdge(0, 8));
+  EXPECT_TRUE(g.HasEdge(0, 9));
+  EXPECT_TRUE(g.HasEdge(0, 10));
+  EXPECT_FALSE(g.HasEdge(0, 11));
+  // Bipartiteness: no edges inside either side.
+  for (uint32_t v = 0; v < 8; ++v) {
+    for (uint32_t u : g.neighbors(v)) EXPECT_GE(u, 8u);
+  }
+}
+
+TEST(GraphletRegistryTest, ClassCountsMatchTheory) {
+  const GraphletRegistry& registry = GraphletRegistry::Get();
+  EXPECT_EQ(registry.NumClasses(3), 2);   // path, triangle
+  EXPECT_EQ(registry.NumClasses(4), 6);
+  EXPECT_EQ(registry.NumClasses(5), 21);
+}
+
+TEST(GraphletRegistryTest, CodesRoundTrip) {
+  const GraphletRegistry& registry = GraphletRegistry::Get();
+  for (int k = 3; k <= 5; ++k) {
+    for (int c = 0; c < registry.NumClasses(k); ++c) {
+      const uint32_t code = registry.CodeOf(k, c);
+      EXPECT_EQ(CanonicalGraphletCode(k, code), code);
+      EXPECT_EQ(registry.ClassOf(k, code), c);
+    }
+  }
+}
+
+TEST(CanonicalCodeTest, IsomorphicGraphsShareCode) {
+  // Path 0-1-2 encoded two ways.
+  const uint32_t path_a = (1u << 0) | (1u << 1);  // edges (0,1), (0,2)
+  const uint32_t path_b = (1u << 0) | (1u << 2);  // edges (0,1), (1,2)
+  EXPECT_EQ(CanonicalGraphletCode(3, path_a), CanonicalGraphletCode(3, path_b));
+  const uint32_t triangle = 0b111;
+  EXPECT_NE(CanonicalGraphletCode(3, triangle),
+            CanonicalGraphletCode(3, path_a));
+}
+
+class EsuBruteForceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EsuBruteForceSweep, MatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  // Small random bipartite-ish graph via a random hypergraph expansion.
+  const Hypergraph h = testing::RandomHypergraph(8, 8, 1, 4, seed);
+  const Graph g = StarExpansion(h);
+  for (int k = 3; k <= 5; ++k) {
+    GraphletCensusOptions options;
+    options.min_size = k;
+    options.max_size = k;
+    const GraphletCensus census = CountGraphlets(g, options).value();
+    const auto expected = BruteForceCensus(g, k);
+    const auto& actual = census.counts[k - 3];
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t c = 0; c < expected.size(); ++c) {
+      EXPECT_DOUBLE_EQ(actual[c], expected[c])
+          << "k=" << k << " class " << c << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EsuBruteForceSweep,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(EsuTest, BipartiteGraphHasNoTriangles) {
+  const Hypergraph h = testing::RandomHypergraph(15, 15, 1, 4, 9);
+  const Graph g = StarExpansion(h);
+  GraphletCensusOptions options;
+  options.min_size = 3;
+  options.max_size = 3;
+  const GraphletCensus census = CountGraphlets(g, options).value();
+  // Class 1 of size 3 is the triangle (the larger canonical code of the
+  // two classes is the denser graph). Identify it via the registry.
+  const GraphletRegistry& registry = GraphletRegistry::Get();
+  const int triangle_class = registry.ClassOf(3, CanonicalGraphletCode(3, 0b111));
+  EXPECT_DOUBLE_EQ(census.counts[0][static_cast<size_t>(triangle_class)], 0.0);
+}
+
+TEST(EsuTest, RandEsuIsUnbiased) {
+  const Hypergraph h = testing::RandomHypergraph(12, 12, 1, 4, 2);
+  const Graph g = StarExpansion(h);
+  GraphletCensusOptions exact_options;
+  exact_options.min_size = 4;
+  exact_options.max_size = 4;
+  const auto exact = CountGraphlets(g, exact_options).value().counts[1];
+
+  std::vector<double> mean(exact.size(), 0.0);
+  const int kTrials = 150;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    GraphletCensusOptions options = exact_options;
+    options.sample_probability = 0.5;
+    options.seed = 100 + trial;
+    const auto sampled = CountGraphlets(g, options).value().counts[1];
+    for (size_t c = 0; c < mean.size(); ++c) {
+      mean[c] += sampled[c] / kTrials;
+    }
+  }
+  double total_exact = 0.0, total_diff = 0.0;
+  for (size_t c = 0; c < mean.size(); ++c) {
+    total_exact += exact[c];
+    total_diff += std::abs(mean[c] - exact[c]);
+  }
+  ASSERT_GT(total_exact, 0.0);
+  EXPECT_LT(total_diff / total_exact, 0.12);
+}
+
+TEST(EsuTest, RejectsBadOptions) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}});
+  GraphletCensusOptions options;
+  options.min_size = 2;
+  EXPECT_FALSE(CountGraphlets(g, options).ok());
+  options.min_size = 4;
+  options.max_size = 3;
+  EXPECT_FALSE(CountGraphlets(g, options).ok());
+  options.min_size = 3;
+  options.max_size = 3;
+  options.sample_probability = 0.0;
+  EXPECT_FALSE(CountGraphlets(g, options).ok());
+}
+
+TEST(EsuTest, FlattenConcatenatesSizes) {
+  GraphletCensus census;
+  census.counts[0] = {1, 2};
+  census.counts[1] = {3, 4, 5, 6, 7, 8};
+  census.counts[2].assign(21, 0.0);
+  EXPECT_EQ(census.Flatten(3, 3), (std::vector<double>{1, 2}));
+  EXPECT_EQ(census.Flatten(3, 4).size(), 8u);
+  EXPECT_EQ(census.Flatten(3, 5).size(), 29u);
+}
+
+TEST(NetworkCpTest, ProducesUnitNormVector) {
+  const Hypergraph h = testing::RandomHypergraph(25, 40, 2, 5, 3);
+  NetworkCpOptions options;
+  options.num_random_graphs = 2;
+  options.census.max_size = 4;
+  const auto cp = ComputeNetworkMotifCP(h, options).value();
+  EXPECT_EQ(cp.size(), 8u);  // 2 + 6 classes
+  double norm = 0.0;
+  for (double c : cp) norm += c * c;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(NetworkCpTest, DeterministicInSeed) {
+  const Hypergraph h = testing::RandomHypergraph(20, 30, 2, 5, 4);
+  NetworkCpOptions options;
+  options.num_random_graphs = 2;
+  options.seed = 10;
+  const auto a = ComputeNetworkMotifCP(h, options).value();
+  const auto b = ComputeNetworkMotifCP(h, options).value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(NetworkCpTest, RejectsZeroRandomGraphs) {
+  const Hypergraph h = testing::RandomHypergraph(10, 10, 2, 4, 5);
+  NetworkCpOptions options;
+  options.num_random_graphs = 0;
+  EXPECT_FALSE(ComputeNetworkMotifCP(h, options).ok());
+}
+
+}  // namespace
+}  // namespace mochy

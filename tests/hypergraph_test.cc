@@ -1,0 +1,156 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+Hypergraph PaperExample() {
+  // Figure 2(b): e1={L,K,F}, e2={L,H,K}, e3={B,G,L}, e4={S,R,F}.
+  // Node ids: L=0, K=1, F=2, H=3, B=4, G=5, S=6, R=7.
+  auto result = MakeHypergraph({{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}});
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(HypergraphTest, BasicAccessors) {
+  const Hypergraph g = PaperExample();
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_pins(), 12u);
+  EXPECT_EQ(g.max_edge_size(), 3u);
+  EXPECT_EQ(g.edge_size(0), 3u);
+  // Members are sorted.
+  const auto e1 = g.edge(1);
+  EXPECT_EQ(std::vector<NodeId>(e1.begin(), e1.end()),
+            (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(HypergraphTest, IncidenceLists) {
+  const Hypergraph g = PaperExample();
+  // Node L=0 appears in e1, e2, e3.
+  const auto el = g.edges_of(0);
+  EXPECT_EQ(std::vector<EdgeId>(el.begin(), el.end()),
+            (std::vector<EdgeId>{0, 1, 2}));
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(6), 1u);
+}
+
+TEST(HypergraphTest, EdgeContains) {
+  const Hypergraph g = PaperExample();
+  EXPECT_TRUE(g.EdgeContains(0, 2));
+  EXPECT_FALSE(g.EdgeContains(0, 7));
+}
+
+TEST(HypergraphTest, IntersectionSizes) {
+  const Hypergraph g = PaperExample();
+  EXPECT_EQ(g.IntersectionSize(0, 1), 2u);  // {L, K}
+  EXPECT_EQ(g.IntersectionSize(0, 3), 1u);  // {F}
+  EXPECT_EQ(g.IntersectionSize(1, 3), 0u);
+  EXPECT_TRUE(g.Adjacent(0, 3));
+  EXPECT_FALSE(g.Adjacent(1, 3));
+}
+
+TEST(HypergraphTest, TripleIntersection) {
+  const Hypergraph g = PaperExample();
+  EXPECT_EQ(g.TripleIntersectionSize(0, 1, 2), 1u);  // {L}
+  EXPECT_EQ(g.TripleIntersectionSize(0, 1, 3), 0u);
+}
+
+TEST(HypergraphTest, TripleIntersectionPicksAnySmallest) {
+  auto g = MakeHypergraph({{0, 1, 2, 3, 4}, {0, 1}, {0, 1, 2}}).value();
+  // Same result regardless of argument order.
+  EXPECT_EQ(g.TripleIntersectionSize(0, 1, 2), 2u);
+  EXPECT_EQ(g.TripleIntersectionSize(2, 1, 0), 2u);
+  EXPECT_EQ(g.TripleIntersectionSize(1, 0, 2), 2u);
+}
+
+TEST(HypergraphTest, ValidatePasses) {
+  const Hypergraph g = PaperExample();
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(HypergraphTest, EmptyGraph) {
+  const Hypergraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_edge_size(), 0u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(BuilderTest, SortsAndDeduplicatesMembers) {
+  auto g = MakeHypergraph({{3, 1, 2, 1, 3}}).value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  const auto span = g.edge(0);
+  EXPECT_EQ(std::vector<NodeId>(span.begin(), span.end()),
+            (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(BuilderTest, RemovesDuplicateEdges) {
+  auto g = MakeHypergraph({{0, 1}, {1, 0}, {0, 1, 2}, {2, 1, 0}}).value();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(BuilderTest, KeepsDuplicatesWhenDisabled) {
+  BuildOptions options;
+  options.dedup_edges = false;
+  auto g = MakeHypergraph({{0, 1}, {1, 0}}, options).value();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(BuilderTest, DropsEmptyEdges) {
+  HypergraphBuilder builder;
+  builder.AddEdge({0, 1});
+  builder.AddEdge(std::span<const NodeId>{});
+  auto g = std::move(builder).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(BuilderTest, RespectsDeclaredNumNodes) {
+  BuildOptions options;
+  options.num_nodes = 10;
+  auto g = MakeHypergraph({{0, 1}}, options).value();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.degree(9), 0u);
+}
+
+TEST(BuilderTest, RejectsOutOfRangeNode) {
+  BuildOptions options;
+  options.num_nodes = 2;
+  auto result = MakeHypergraph({{0, 5}}, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, SingletonEdgesAllowed) {
+  auto g = MakeHypergraph({{7}}).value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+class RandomHypergraphValidation
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomHypergraphValidation, BuiltGraphsAreAlwaysConsistent) {
+  const Hypergraph g =
+      testing::RandomHypergraph(30, 40, 1, 6, /*seed=*/GetParam());
+  EXPECT_TRUE(g.Validate().ok());
+  // Round trip through the member/incidence directions.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (NodeId v : g.edge(e)) {
+      const auto incident = g.edges_of(v);
+      EXPECT_TRUE(std::find(incident.begin(), incident.end(), e) !=
+                  incident.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHypergraphValidation,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace mochy

@@ -1,0 +1,88 @@
+#include "hypergraph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+TEST(IoTest, ParsesSpaceSeparated) {
+  const auto g = ParseHypergraph("0 1 2\n1 2\n3\n").value();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.edge_size(0), 3u);
+}
+
+TEST(IoTest, ParsesCommaAndTabSeparated) {
+  const auto g = ParseHypergraph("0,1,2\n3\t4\n").value();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  const auto g =
+      ParseHypergraph("# header\n\n% note\n  \n0 1\n# trailing\n").value();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(IoTest, HandlesCrLfAndMissingTrailingNewline) {
+  const auto g = ParseHypergraph("0 1\r\n2 3").value();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(IoTest, RejectsNonNumericTokens) {
+  const auto result = ParseHypergraph("0 a 2\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(IoTest, RejectsHugeIds) {
+  const auto result = ParseHypergraph("99999999999999999999\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IoTest, EmptyInputYieldsEmptyGraph) {
+  const auto g = ParseHypergraph("").value();
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_nodes(), 0u);
+}
+
+TEST(IoTest, FormatThenParseRoundTrips) {
+  const Hypergraph original = testing::RandomHypergraph(30, 40, 1, 6, 5);
+  const std::string text = FormatHypergraph(original);
+  const Hypergraph parsed = ParseHypergraph(text).value();
+  ASSERT_EQ(parsed.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    const auto a = original.edge(e);
+    const auto b = parsed.edge(e);
+    ASSERT_EQ(a.size(), b.size()) << "edge " << e;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(IoTest, SaveThenLoadRoundTrips) {
+  const Hypergraph original = testing::RandomHypergraph(20, 25, 1, 5, 9);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mochy_io_test.txt").string();
+  ASSERT_TRUE(SaveHypergraph(original, path).ok());
+  const Hypergraph loaded = LoadHypergraph(path).value();
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(loaded.num_pins(), original.num_pins());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  const auto result = LoadHypergraph("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace mochy

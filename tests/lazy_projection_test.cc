@@ -1,0 +1,130 @@
+#include "hypergraph/lazy_projection.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "hypergraph/projection.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+void ExpectSameNeighborhood(const std::vector<Neighbor>& got,
+                            std::span<const Neighbor> expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].edge, expected[i].edge);
+    EXPECT_EQ(got[i].weight, expected[i].weight);
+  }
+}
+
+class LazyProjectionPolicySweep
+    : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(LazyProjectionPolicySweep, AlwaysReturnsExactNeighborhoods) {
+  const Hypergraph g = testing::RandomHypergraph(40, 70, 1, 6, 13);
+  const ProjectedGraph reference = ProjectedGraph::Build(g).value();
+  LazyProjectionOptions options;
+  options.policy = GetParam();
+  options.memory_budget_bytes = 2048;  // forces evictions
+  LazyProjection lazy(g, options);
+  Rng rng(3);
+  for (int access = 0; access < 500; ++access) {
+    const EdgeId e = static_cast<EdgeId>(rng.UniformInt(g.num_edges()));
+    ExpectSameNeighborhood(lazy.Neighborhood(e), reference.neighbors(e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, LazyProjectionPolicySweep,
+                         ::testing::Values(EvictionPolicy::kDegreePriority,
+                                           EvictionPolicy::kLru,
+                                           EvictionPolicy::kRandom));
+
+TEST(LazyProjectionTest, ZeroBudgetNeverMemoizes) {
+  const Hypergraph g = testing::RandomHypergraph(20, 30, 1, 5, 1);
+  LazyProjectionOptions options;
+  options.memory_budget_bytes = 0;
+  LazyProjection lazy(g, options);
+  for (int i = 0; i < 10; ++i) lazy.Neighborhood(0);
+  EXPECT_EQ(lazy.stats().memo_hits, 0u);
+  EXPECT_EQ(lazy.stats().computations, 10u);
+  EXPECT_EQ(lazy.stats().bytes_used, 0u);
+}
+
+TEST(LazyProjectionTest, LargeBudgetComputesEachOnce) {
+  const Hypergraph g = testing::RandomHypergraph(20, 30, 1, 5, 2);
+  LazyProjectionOptions options;
+  options.memory_budget_bytes = 64 << 20;
+  LazyProjection lazy(g, options);
+  for (int round = 0; round < 3; ++round) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) lazy.Neighborhood(e);
+  }
+  EXPECT_EQ(lazy.stats().computations, g.num_edges());
+  EXPECT_EQ(lazy.stats().memo_hits, 2u * g.num_edges());
+  EXPECT_EQ(lazy.stats().evictions, 0u);
+}
+
+TEST(LazyProjectionTest, BudgetIsRespected) {
+  const Hypergraph g = testing::RandomHypergraph(40, 80, 2, 8, 3);
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kDegreePriority, EvictionPolicy::kLru,
+        EvictionPolicy::kRandom}) {
+    LazyProjectionOptions options;
+    options.policy = policy;
+    options.memory_budget_bytes = 4096;
+    LazyProjection lazy(g, options);
+    Rng rng(7);
+    for (int access = 0; access < 300; ++access) {
+      lazy.Neighborhood(static_cast<EdgeId>(rng.UniformInt(g.num_edges())));
+      EXPECT_LE(lazy.stats().bytes_used, options.memory_budget_bytes);
+    }
+  }
+}
+
+TEST(LazyProjectionTest, LruKeepsHotEntry) {
+  const Hypergraph g = testing::RandomHypergraph(30, 50, 2, 6, 4);
+  LazyProjectionOptions options;
+  options.policy = EvictionPolicy::kLru;
+  options.memory_budget_bytes = 3000;
+  LazyProjection lazy(g, options);
+  // Touch edge 0 between every other access; it should stay cached, i.e.
+  // at most one computation of edge 0's neighborhood beyond the first few.
+  lazy.Neighborhood(0);
+  const uint64_t before = lazy.stats().computations;
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    lazy.Neighborhood(static_cast<EdgeId>(rng.UniformInt(g.num_edges())));
+    lazy.Neighborhood(0);
+  }
+  // Edge 0 is re-accessed 100 times; nearly all must be hits.
+  EXPECT_GT(lazy.stats().memo_hits, 90u);
+  (void)before;
+}
+
+TEST(LazyProjectionTest, DegreePolicyPrefersHighDegree) {
+  // Star-ish hypergraph: edge 0 overlaps everyone (high projected degree),
+  // others overlap only edge 0.
+  std::vector<std::vector<NodeId>> edges;
+  edges.push_back({});
+  for (NodeId v = 0; v < 20; ++v) edges[0].push_back(v);
+  for (NodeId v = 0; v < 20; ++v) {
+    edges.push_back({v, static_cast<NodeId>(100 + v)});
+  }
+  auto g = MakeHypergraph(edges).value();
+  LazyProjectionOptions options;
+  options.policy = EvictionPolicy::kDegreePriority;
+  // Enough for the hub's 20-neighbor list but not for everything.
+  options.memory_budget_bytes = 600;
+  LazyProjection lazy(g, options);
+  lazy.Neighborhood(0);
+  // Churn through the leaves.
+  for (EdgeId e = 1; e <= 20; ++e) lazy.Neighborhood(e);
+  const uint64_t computations = lazy.stats().computations;
+  // The hub must still be cached: accessing it again is a hit.
+  lazy.Neighborhood(0);
+  EXPECT_EQ(lazy.stats().computations, computations);
+  EXPECT_GT(lazy.stats().memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace mochy

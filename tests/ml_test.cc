@@ -1,0 +1,278 @@
+// Tests for the ML substrate: dataset plumbing, metrics, and all five
+// Table 4 classifiers on synthetic separable/noisy problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/logistic.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+
+namespace mochy {
+namespace {
+
+/// Two Gaussian blobs separated along every feature by `gap` sigmas.
+Dataset MakeBlobs(size_t per_class, size_t features, double gap,
+                  uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < 2 * per_class; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    std::vector<double> row(features);
+    for (auto& x : row) {
+      x = rng.Normal() + (label == 1 ? gap : 0.0);
+    }
+    data.features.push_back(std::move(row));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+/// XOR-style dataset: linearly inseparable, tree/MLP-learnable.
+Dataset MakeXor(size_t per_quadrant, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (int qx = 0; qx < 2; ++qx) {
+    for (int qy = 0; qy < 2; ++qy) {
+      for (size_t i = 0; i < per_quadrant; ++i) {
+        const double x = (qx ? 2.0 : -2.0) + rng.Normal() * 0.4;
+        const double y = (qy ? 2.0 : -2.0) + rng.Normal() * 0.4;
+        data.features.push_back({x, y});
+        data.labels.push_back(qx ^ qy);
+      }
+    }
+  }
+  return data;
+}
+
+double HoldoutAccuracy(Classifier& clf, const Dataset& data, uint64_t seed) {
+  Dataset train, test;
+  EXPECT_TRUE(TrainTestSplit(data, 0.3, seed, &train, &test).ok());
+  EXPECT_TRUE(clf.Fit(train).ok());
+  return Accuracy(test.labels, clf.PredictAll(test));
+}
+
+TEST(DatasetTest, ValidateCatchesProblems) {
+  Dataset data;
+  data.features = {{1.0, 2.0}, {3.0}};
+  data.labels = {0, 1};
+  EXPECT_FALSE(data.Validate().ok());
+  data.features = {{1.0}, {2.0}};
+  data.labels = {0};
+  EXPECT_FALSE(data.Validate().ok());
+  data.labels = {0, 2};
+  EXPECT_FALSE(data.Validate().ok());
+  data.labels = {0, 1};
+  EXPECT_TRUE(data.Validate().ok());
+}
+
+TEST(DatasetTest, SplitPreservesRowsAndIsDeterministic) {
+  const Dataset data = MakeBlobs(50, 3, 1.0, 1);
+  Dataset train_a, test_a, train_b, test_b;
+  ASSERT_TRUE(TrainTestSplit(data, 0.25, 7, &train_a, &test_a).ok());
+  ASSERT_TRUE(TrainTestSplit(data, 0.25, 7, &train_b, &test_b).ok());
+  EXPECT_EQ(test_a.size(), 25u);
+  EXPECT_EQ(train_a.size(), 75u);
+  EXPECT_EQ(train_a.features, train_b.features);
+  EXPECT_EQ(test_a.labels, test_b.labels);
+  EXPECT_FALSE(TrainTestSplit(data, 1.5, 7, &train_a, &test_a).ok());
+}
+
+TEST(DatasetTest, StandardizerZeroMeanUnitVariance) {
+  Dataset data = MakeBlobs(200, 4, 2.0, 3);
+  const Standardizer s = Standardizer::Fit(data);
+  s.Apply(&data);
+  for (size_t f = 0; f < 4; ++f) {
+    double mean = 0.0, var = 0.0;
+    for (const auto& row : data.features) mean += row[f];
+    mean /= static_cast<double>(data.size());
+    for (const auto& row : data.features) {
+      var += (row[f] - mean) * (row[f] - mean);
+    }
+    var /= static_cast<double>(data.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(DatasetTest, StandardizerZeroesConstantFeatures) {
+  Dataset data;
+  data.features = {{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  data.labels = {0, 1, 0};
+  const Standardizer s = Standardizer::Fit(data);
+  const auto row = s.Transform(std::vector<double>{5.0, 2.0});
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 0}, {0.9, 0.1, 0.6, 0.4}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0}, {0.1, 0.9}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0}, {0.9}), 0.0);  // shape mismatch
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, AucPerfectAndReversedAndRandom) {
+  EXPECT_DOUBLE_EQ(AucScore({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(AucScore({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+  EXPECT_DOUBLE_EQ(AucScore({0, 1}, {0.5, 0.5}), 0.5);  // all tied
+  EXPECT_DOUBLE_EQ(AucScore({1, 1}, {0.2, 0.9}), 0.5);  // one class only
+}
+
+TEST(MetricsTest, AucHandlesTiesWithMidranks) {
+  // positives: 0.5, 0.9; negatives: 0.1, 0.5.
+  // Pairs: (0.5 vs 0.1)=1, (0.5 vs 0.5)=0.5, (0.9 vs 0.1)=1, (0.9 vs 0.5)=1.
+  EXPECT_DOUBLE_EQ(AucScore({1, 0, 1, 0}, {0.5, 0.1, 0.9, 0.5}), 3.5 / 4.0);
+}
+
+TEST(LogisticTest, LearnsSeparableBlobs) {
+  LogisticRegression clf;
+  EXPECT_GT(HoldoutAccuracy(clf, MakeBlobs(150, 4, 2.5, 5), 1), 0.95);
+}
+
+TEST(LogisticTest, WeightsPointTowardPositiveClass) {
+  LogisticRegression clf;
+  ASSERT_TRUE(clf.Fit(MakeBlobs(200, 3, 2.0, 6)).ok());
+  for (double w : clf.weights()) EXPECT_GT(w, 0.0);
+}
+
+TEST(LogisticTest, RejectsEmptyTrainingSet) {
+  LogisticRegression clf;
+  EXPECT_FALSE(clf.Fit(Dataset{}).ok());
+}
+
+TEST(DecisionTreeTest, LearnsXor) {
+  DecisionTree clf;
+  EXPECT_GT(HoldoutAccuracy(clf, MakeXor(80, 7), 2), 0.95);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  DecisionTreeOptions options;
+  options.max_depth = 0;  // stump-less: root only
+  DecisionTree clf(options);
+  ASSERT_TRUE(clf.Fit(MakeXor(30, 8)).ok());
+  EXPECT_EQ(clf.num_nodes(), 1u);
+  // Root leaf predicts the base rate.
+  EXPECT_NEAR(clf.PredictProba(std::vector<double>{0.0, 0.0}), 0.5, 0.01);
+}
+
+TEST(DecisionTreeTest, PureLeavesAreConfident) {
+  DecisionTree clf;
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.features.push_back({static_cast<double>(i)});
+    data.labels.push_back(i < 10 ? 0 : 1);
+  }
+  ASSERT_TRUE(clf.Fit(data).ok());
+  EXPECT_DOUBLE_EQ(clf.PredictProba(std::vector<double>{2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(clf.PredictProba(std::vector<double>{15.0}), 1.0);
+}
+
+TEST(RandomForestTest, LearnsXorAndBeatsChance) {
+  RandomForestOptions options;
+  options.num_trees = 25;
+  RandomForest clf(options);
+  EXPECT_GT(HoldoutAccuracy(clf, MakeXor(60, 9), 3), 0.9);
+  EXPECT_EQ(clf.num_trees(), 25u);
+}
+
+TEST(RandomForestTest, RejectsBadOptions) {
+  RandomForestOptions options;
+  options.num_trees = 0;
+  RandomForest clf(options);
+  EXPECT_FALSE(clf.Fit(MakeBlobs(10, 2, 1.0, 1)).ok());
+}
+
+TEST(KnnTest, LearnsBlobsAndInterpolates) {
+  KNearestNeighbors clf;
+  EXPECT_GT(HoldoutAccuracy(clf, MakeBlobs(150, 3, 2.5, 10), 4), 0.95);
+}
+
+TEST(KnnTest, ProbabilityIsNeighborFraction) {
+  KnnOptions options;
+  options.k = 3;
+  KNearestNeighbors clf(options);
+  Dataset data;
+  data.features = {{0.0}, {0.1}, {0.2}, {10.0}, {10.1}};
+  data.labels = {0, 0, 1, 1, 1};
+  ASSERT_TRUE(clf.Fit(data).ok());
+  EXPECT_NEAR(clf.PredictProba(std::vector<double>{0.05}), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(clf.PredictProba(std::vector<double>{10.05}), 1.0, 1e-9);
+}
+
+TEST(KnnTest, RejectsZeroK) {
+  KnnOptions options;
+  options.k = 0;
+  KNearestNeighbors clf(options);
+  EXPECT_FALSE(clf.Fit(MakeBlobs(10, 2, 1.0, 2)).ok());
+}
+
+TEST(MlpTest, LearnsXor) {
+  MlpOptions options;
+  options.epochs = 200;
+  MlpClassifier clf(options);
+  EXPECT_GT(HoldoutAccuracy(clf, MakeXor(80, 11), 5), 0.93);
+}
+
+TEST(MlpTest, DeterministicInSeed) {
+  const Dataset data = MakeBlobs(60, 3, 1.5, 12);
+  MlpOptions options;
+  options.epochs = 30;
+  options.seed = 77;
+  MlpClassifier a(options), b(options);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  const std::vector<double> probe = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(a.PredictProba(probe), b.PredictProba(probe));
+}
+
+TEST(MlpTest, RejectsBadOptions) {
+  MlpOptions options;
+  options.hidden_units = 0;
+  MlpClassifier clf(options);
+  EXPECT_FALSE(clf.Fit(MakeBlobs(10, 2, 1.0, 3)).ok());
+}
+
+class AllClassifiersSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllClassifiersSweep, BeatChanceOnNoisyBlobs) {
+  std::unique_ptr<Classifier> clf;
+  switch (GetParam()) {
+    case 0:
+      clf = std::make_unique<LogisticRegression>();
+      break;
+    case 1:
+      clf = std::make_unique<DecisionTree>();
+      break;
+    case 2:
+      clf = std::make_unique<RandomForest>();
+      break;
+    case 3:
+      clf = std::make_unique<KNearestNeighbors>();
+      break;
+    default:
+      clf = std::make_unique<MlpClassifier>();
+      break;
+  }
+  const Dataset data = MakeBlobs(120, 5, 1.2, 20 + GetParam());
+  // Well above chance (0.5); single trees overfit noisy blobs, so the bar
+  // is deliberately below the Bayes rate.
+  const double accuracy = HoldoutAccuracy(*clf, data, 6);
+  EXPECT_GT(accuracy, 0.7) << "classifier " << GetParam();
+  // AUC should also clear chance comfortably.
+  Dataset train, test;
+  ASSERT_TRUE(TrainTestSplit(data, 0.3, 6, &train, &test).ok());
+  ASSERT_TRUE(clf->Fit(train).ok());
+  EXPECT_GT(AucScore(test.labels, clf->PredictAll(test)), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classifiers, AllClassifiersSweep,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace mochy

@@ -1,0 +1,240 @@
+// Tests for significance (Eq. 1), characteristic profiles (Eq. 2), Table 3
+// derived quantities, and profile similarity (Figure 6 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hypergraph/builder.h"
+#include "motif/mochy_e.h"
+#include "profile/significance.h"
+#include "profile/similarity.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+TEST(SignificanceTest, MatchesEquationOne) {
+  MotifCounts real, random;
+  real[1] = 100;
+  random[1] = 50;
+  real[2] = 0;
+  random[2] = 10;
+  const ProfileVector delta = ComputeSignificance(real, random, 1.0);
+  EXPECT_DOUBLE_EQ(delta[0], 50.0 / 151.0);
+  EXPECT_DOUBLE_EQ(delta[1], -10.0 / 11.0);
+  EXPECT_DOUBLE_EQ(delta[2], 0.0);  // both zero
+}
+
+TEST(SignificanceTest, EpsilonPreventsDivisionByZero) {
+  MotifCounts real, random;
+  const ProfileVector delta = ComputeSignificance(real, random, 1.0);
+  for (double d : delta) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(SignificanceTest, BoundedInMinusOneToOne) {
+  MotifCounts real, random;
+  Rng rng(2);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    real[t] = static_cast<double>(rng.UniformInt(1000000));
+    random[t] = static_cast<double>(rng.UniformInt(1000000));
+  }
+  for (double d : ComputeSignificance(real, random)) {
+    EXPECT_GE(d, -1.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(NormalizeProfileTest, UnitNorm) {
+  ProfileVector delta{};
+  delta[0] = 3.0;
+  delta[1] = 4.0;
+  const ProfileVector cp = NormalizeProfile(delta);
+  EXPECT_DOUBLE_EQ(cp[0], 0.6);
+  EXPECT_DOUBLE_EQ(cp[1], 0.8);
+  double norm = 0.0;
+  for (double c : cp) norm += c * c;
+  EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(NormalizeProfileTest, ZeroVectorStaysZero) {
+  const ProfileVector cp = NormalizeProfile(ProfileVector{});
+  for (double c : cp) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(RelativeCountsTest, MatchesTable3Definition) {
+  MotifCounts real, random;
+  real[5] = 300;
+  random[5] = 100;
+  const ProfileVector rc = RelativeCounts(real, random);
+  EXPECT_DOUBLE_EQ(rc[4], 0.5);
+  EXPECT_DOUBLE_EQ(rc[0], 0.0);  // 0/0 guarded
+}
+
+TEST(RankTest, RanksDescendingWithIdTieBreak) {
+  MotifCounts counts;
+  counts[1] = 5;
+  counts[2] = 10;
+  counts[3] = 5;
+  const auto rank = RankByCount(counts);
+  EXPECT_EQ(rank[1], 1);  // motif 2 most frequent
+  EXPECT_EQ(rank[0], 2);  // motif 1 beats motif 3 on tie
+  EXPECT_EQ(rank[2], 3);
+  // Everything else ties at zero, ranked by id after rank 3.
+  EXPECT_EQ(rank[3], 4);
+}
+
+TEST(RankTest, RankDifferenceIsAbsolute) {
+  MotifCounts real, random;
+  real[1] = 100;
+  real[2] = 50;
+  random[1] = 50;
+  random[2] = 100;
+  const auto diff = RankDifference(real, random);
+  EXPECT_EQ(diff[0], 1);
+  EXPECT_EQ(diff[1], 1);
+  EXPECT_EQ(diff[5], 0);
+}
+
+TEST(CharacteristicProfileTest, EndToEndOnRandomGraph) {
+  const Hypergraph g = testing::RandomHypergraph(40, 80, 2, 6, 7);
+  CharacteristicProfileOptions options;
+  options.num_random_graphs = 3;
+  options.seed = 9;
+  const auto profile = ComputeCharacteristicProfile(g, options).value();
+  // Real counts must equal a direct exact count.
+  const MotifCounts exact = CountMotifsExact(g);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(profile.real_counts[t], exact[t]);
+  }
+  double norm = 0.0;
+  for (double c : profile.cp) norm += c * c;
+  EXPECT_TRUE(std::abs(norm - 1.0) < 1e-9 || norm == 0.0);
+}
+
+TEST(CharacteristicProfileTest, DeterministicForSeed) {
+  const Hypergraph g = testing::RandomHypergraph(30, 50, 2, 5, 8);
+  CharacteristicProfileOptions options;
+  options.num_random_graphs = 2;
+  options.seed = 11;
+  const auto a = ComputeCharacteristicProfile(g, options).value();
+  const auto b = ComputeCharacteristicProfile(g, options).value();
+  for (int i = 0; i < kNumHMotifs; ++i) {
+    EXPECT_DOUBLE_EQ(a.cp[i], b.cp[i]);
+  }
+}
+
+TEST(CharacteristicProfileTest, ApproximateModeTracksExact) {
+  const Hypergraph g = testing::RandomHypergraph(50, 120, 2, 6, 10);
+  CharacteristicProfileOptions exact_opts;
+  exact_opts.num_random_graphs = 2;
+  exact_opts.seed = 13;
+  const auto exact = ComputeCharacteristicProfile(g, exact_opts).value();
+  CharacteristicProfileOptions approx_opts = exact_opts;
+  approx_opts.sample_ratio = 0.8;  // generous sampling
+  const auto approx = ComputeCharacteristicProfile(g, approx_opts).value();
+  std::vector<double> a(exact.cp.begin(), exact.cp.end());
+  std::vector<double> b(approx.cp.begin(), approx.cp.end());
+  EXPECT_GT(PearsonCorrelation(a, b), 0.9);
+}
+
+TEST(CharacteristicProfileTest, RejectsZeroRandomGraphs) {
+  const Hypergraph g = testing::RandomHypergraph(10, 15, 2, 4, 1);
+  CharacteristicProfileOptions options;
+  options.num_random_graphs = 0;
+  EXPECT_FALSE(ComputeCharacteristicProfile(g, options).ok());
+}
+
+TEST(SimilarityTest, PearsonBasics) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(SimilarityTest, CorrelationMatrixSymmetricUnitDiagonal) {
+  const std::vector<std::vector<double>> profiles = {
+      {1, 2, 3, 4}, {4, 3, 2, 1}, {1, 3, 2, 4}};
+  const auto matrix = CorrelationMatrix(profiles).value();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+    }
+  }
+}
+
+TEST(SimilarityTest, RejectsMixedDimensions) {
+  EXPECT_FALSE(CorrelationMatrix({{1, 2}, {1, 2, 3}}).ok());
+}
+
+TEST(SimilarityTest, DomainSeparationGap) {
+  // Two domains; within-domain pairs perfectly correlated, across weakly.
+  const std::vector<std::vector<double>> profiles = {
+      {1, 2, 3, 4}, {2, 4, 6, 8}, {4, 3, 3, 1}, {8, 6, 6, 2}};
+  const std::vector<std::string> domains = {"x", "x", "y", "y"};
+  const auto matrix = CorrelationMatrix(profiles).value();
+  const auto sep = ComputeDomainSeparation(matrix, domains).value();
+  EXPECT_DOUBLE_EQ(sep.within_mean, 1.0);
+  EXPECT_LT(sep.across_mean, 1.0);
+  EXPECT_GT(sep.gap, 0.0);
+}
+
+TEST(SimilarityTest, DomainSeparationRejectsBadShapes) {
+  EXPECT_FALSE(ComputeDomainSeparation({{1.0}}, {"a", "b"}).ok());
+  EXPECT_FALSE(
+      ComputeDomainSeparation({{1.0, 0.5}, {0.5}}, {"a", "b"}).ok());
+}
+
+TEST(SimilarityTest, LeaveOneOutAccuracy) {
+  const std::vector<std::vector<double>> profiles = {
+      {1, 2, 3, 4}, {1.1, 2, 3, 4}, {4, 3, 2, 1}, {4, 3.1, 2, 1}};
+  const std::vector<std::string> domains = {"x", "x", "y", "y"};
+  EXPECT_EQ(LeaveOneOutDomainAccuracy(profiles, domains), 4u);
+}
+
+TEST(CountsTest, TotalsAndArithmetic) {
+  MotifCounts counts;
+  counts[17] = 5;
+  counts[1] = 3;
+  EXPECT_DOUBLE_EQ(counts.Total(), 8.0);
+  EXPECT_DOUBLE_EQ(counts.TotalOpen(), 5.0);
+  EXPECT_DOUBLE_EQ(counts.TotalClosed(), 3.0);
+  MotifCounts other;
+  other[1] = 1;
+  counts += other;
+  EXPECT_DOUBLE_EQ(counts[1], 4.0);
+  counts *= 0.5;
+  EXPECT_DOUBLE_EQ(counts[1], 2.0);
+}
+
+TEST(CountsTest, MeanOfSeveral) {
+  MotifCounts a, b;
+  a[3] = 10;
+  b[3] = 20;
+  b[4] = 2;
+  const MotifCounts mean = MotifCounts::Mean({a, b});
+  EXPECT_DOUBLE_EQ(mean[3], 15.0);
+  EXPECT_DOUBLE_EQ(mean[4], 1.0);
+  EXPECT_DOUBLE_EQ(MotifCounts::Mean({}).Total(), 0.0);
+}
+
+TEST(CountsTest, RelativeError) {
+  MotifCounts est, ref;
+  ref[1] = 100;
+  est[1] = 90;
+  EXPECT_DOUBLE_EQ(est.RelativeError(ref), 0.1);
+  MotifCounts zero;
+  EXPECT_DOUBLE_EQ(zero.RelativeError(MotifCounts{}), 0.0);
+  EXPECT_TRUE(std::isinf(est.RelativeError(MotifCounts{})));
+}
+
+TEST(CountsTest, ToStringListsAllMotifs) {
+  MotifCounts counts;
+  counts[26] = 7;
+  const std::string text = counts.ToString();
+  EXPECT_NE(text.find("h-motif 26: 7"), std::string::npos);
+  EXPECT_NE(text.find("h-motif  1: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mochy

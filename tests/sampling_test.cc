@@ -1,0 +1,214 @@
+// Tests for MoCHy-A (hyperedge sampling) and MoCHy-A+ (hyperwedge
+// sampling): determinism, unbiasedness (Theorems 2 and 4), exhaustive-
+// sampling consistency, and agreement of the on-the-fly variant.
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "motif/mochy_a.h"
+#include "motif/mochy_aplus.h"
+#include "motif/mochy_e.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+struct Fixture {
+  Hypergraph graph;
+  ProjectedGraph projection;
+  MotifCounts exact;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Fixture f;
+  f.graph = testing::RandomHypergraph(30, 60, 1, 6, seed);
+  f.projection = ProjectedGraph::Build(f.graph).value();
+  f.exact = CountMotifsExact(f.graph, f.projection);
+  return f;
+}
+
+TEST(MochyATest, DeterministicForFixedSeed) {
+  const Fixture f = MakeFixture(1);
+  MochyAOptions options;
+  options.num_samples = 50;
+  options.seed = 99;
+  const MotifCounts a = CountMotifsEdgeSample(f.graph, f.projection, options);
+  const MotifCounts b = CountMotifsEdgeSample(f.graph, f.projection, options);
+  for (int t = 1; t <= kNumHMotifs; ++t) EXPECT_DOUBLE_EQ(a[t], b[t]);
+}
+
+TEST(MochyATest, ThreadCountDoesNotChangeEstimate) {
+  const Fixture f = MakeFixture(2);
+  MochyAOptions options;
+  options.num_samples = 64;
+  options.seed = 5;
+  options.num_threads = 1;
+  const MotifCounts serial =
+      CountMotifsEdgeSample(f.graph, f.projection, options);
+  options.num_threads = 4;
+  const MotifCounts parallel =
+      CountMotifsEdgeSample(f.graph, f.projection, options);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(serial[t], parallel[t]) << "motif " << t;
+  }
+}
+
+TEST(MochyATest, MeanOverManyTrialsApproachesExact) {
+  // Unbiasedness (Theorem 2): average estimates over independent seeds and
+  // compare with the exact counts.
+  const Fixture f = MakeFixture(3);
+  const int kTrials = 300;
+  MotifCounts sum;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    MochyAOptions options;
+    options.num_samples = 20;
+    options.seed = 1000 + trial;
+    sum += CountMotifsEdgeSample(f.graph, f.projection, options);
+  }
+  sum *= 1.0 / kTrials;
+  const double err = sum.RelativeError(f.exact);
+  EXPECT_LT(err, 0.08) << "mean of estimates deviates from exact counts";
+}
+
+TEST(MochyAPlusTest, DeterministicForFixedSeed) {
+  const Fixture f = MakeFixture(4);
+  MochyAPlusOptions options;
+  options.num_samples = 50;
+  options.seed = 99;
+  const MotifCounts a =
+      CountMotifsWedgeSample(f.graph, f.projection, options);
+  const MotifCounts b =
+      CountMotifsWedgeSample(f.graph, f.projection, options);
+  for (int t = 1; t <= kNumHMotifs; ++t) EXPECT_DOUBLE_EQ(a[t], b[t]);
+}
+
+TEST(MochyAPlusTest, ThreadCountDoesNotChangeEstimate) {
+  const Fixture f = MakeFixture(5);
+  MochyAPlusOptions options;
+  options.num_samples = 64;
+  options.seed = 7;
+  options.num_threads = 1;
+  const MotifCounts serial =
+      CountMotifsWedgeSample(f.graph, f.projection, options);
+  options.num_threads = 4;
+  const MotifCounts parallel =
+      CountMotifsWedgeSample(f.graph, f.projection, options);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(serial[t], parallel[t]) << "motif " << t;
+  }
+}
+
+TEST(MochyAPlusTest, MeanOverManyTrialsApproachesExact) {
+  const Fixture f = MakeFixture(6);
+  const int kTrials = 300;
+  MotifCounts sum;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    MochyAPlusOptions options;
+    options.num_samples = 20;
+    options.seed = 2000 + trial;
+    sum += CountMotifsWedgeSample(f.graph, f.projection, options);
+  }
+  sum *= 1.0 / kTrials;
+  const double err = sum.RelativeError(f.exact);
+  EXPECT_LT(err, 0.08);
+}
+
+TEST(MochyAPlusTest, LowerErrorThanMochyAAtEqualRatio) {
+  // Section 3.3: at alpha = s/|E| = r/|∧|, MoCHy-A+ has smaller variance.
+  // Compare the mean absolute relative error over repeated trials.
+  const Fixture f = MakeFixture(7);
+  const double alpha = 0.2;
+  const uint64_t s = std::max<uint64_t>(
+      1, static_cast<uint64_t>(alpha * f.graph.num_edges()));
+  const uint64_t r = std::max<uint64_t>(
+      1, static_cast<uint64_t>(alpha * f.projection.num_wedges()));
+  const int kTrials = 120;
+  double err_a = 0.0, err_ap = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    MochyAOptions oa;
+    oa.num_samples = s;
+    oa.seed = 3000 + trial;
+    err_a += CountMotifsEdgeSample(f.graph, f.projection, oa)
+                 .RelativeError(f.exact);
+    MochyAPlusOptions op;
+    op.num_samples = r;
+    op.seed = 3000 + trial;
+    err_ap += CountMotifsWedgeSample(f.graph, f.projection, op)
+                  .RelativeError(f.exact);
+  }
+  EXPECT_LT(err_ap, err_a)
+      << "MoCHy-A+ should be more accurate at matched sampling ratio";
+}
+
+TEST(MochyAPlusTest, ZeroWedgeGraphGivesZeroes) {
+  auto g = MakeHypergraph({{0, 1}, {2, 3}}).value();
+  const ProjectedGraph p = ProjectedGraph::Build(g).value();
+  MochyAPlusOptions options;
+  options.num_samples = 10;
+  const MotifCounts counts = CountMotifsWedgeSample(g, p, options);
+  EXPECT_DOUBLE_EQ(counts.Total(), 0.0);
+}
+
+TEST(MochyATest, ZeroSamplesGivesZeroes) {
+  const Fixture f = MakeFixture(8);
+  MochyAOptions options;
+  options.num_samples = 0;
+  EXPECT_DOUBLE_EQ(
+      CountMotifsEdgeSample(f.graph, f.projection, options).Total(), 0.0);
+}
+
+class OnTheFlyEquivalence
+    : public ::testing::TestWithParam<std::tuple<EvictionPolicy, uint64_t>> {};
+
+TEST_P(OnTheFlyEquivalence, MatchesEagerForAnyBudgetAndPolicy) {
+  const auto [policy, budget] = GetParam();
+  const Fixture f = MakeFixture(9);
+  MochyAPlusOptions options;
+  options.num_samples = 80;
+  options.seed = 31;
+  const MotifCounts eager =
+      CountMotifsWedgeSample(f.graph, f.projection, options);
+
+  const ProjectedDegrees degrees = ComputeProjectedDegrees(f.graph);
+  LazyProjectionOptions lazy;
+  lazy.memory_budget_bytes = budget;
+  lazy.policy = policy;
+  const MotifCounts fly =
+      CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options, lazy);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(eager[t], fly[t]) << "motif " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndPolicies, OnTheFlyEquivalence,
+    ::testing::Combine(::testing::Values(EvictionPolicy::kDegreePriority,
+                                         EvictionPolicy::kLru,
+                                         EvictionPolicy::kRandom),
+                       ::testing::Values<uint64_t>(0, 512, 4096, 1 << 20)));
+
+TEST(OnTheFlyTest, MemoizationReducesComputations) {
+  const Fixture f = MakeFixture(10);
+  const ProjectedDegrees degrees = ComputeProjectedDegrees(f.graph);
+  MochyAPlusOptions options;
+  options.num_samples = 200;
+  options.seed = 77;
+
+  LazyProjectionOptions no_memo;
+  no_memo.memory_budget_bytes = 0;
+  LazyProjection::Stats stats_none;
+  CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options, no_memo,
+                                 &stats_none);
+
+  LazyProjectionOptions big_memo;
+  big_memo.memory_budget_bytes = 16 << 20;
+  LazyProjection::Stats stats_big;
+  CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options, big_memo,
+                                 &stats_big);
+
+  EXPECT_EQ(stats_none.memo_hits, 0u);
+  EXPECT_GT(stats_big.memo_hits, 0u);
+  EXPECT_LT(stats_big.computations, stats_none.computations);
+}
+
+}  // namespace
+}  // namespace mochy

@@ -1,0 +1,120 @@
+// Shared test helpers: an independent brute-force h-motif counter (direct
+// set algebra over all O(|E|^3) triples, no projected graph, no
+// inclusion-exclusion) and small random-hypergraph generators for
+// property-style sweeps.
+#ifndef MOCHY_TESTS_TEST_UTIL_H_
+#define MOCHY_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/hypergraph.h"
+#include "motif/counts.h"
+#include "motif/pattern.h"
+
+namespace mochy::testing {
+
+/// Region cardinalities of a triple computed by direct set operations.
+struct Regions {
+  uint64_t d[3];
+  uint64_t p[3];  // p[0]=p_ab, p[1]=p_bc, p[2]=p_ca
+  uint64_t t;
+};
+
+inline Regions ComputeRegions(const std::set<NodeId>& a,
+                              const std::set<NodeId>& b,
+                              const std::set<NodeId>& c) {
+  Regions r{};
+  auto in = [](const std::set<NodeId>& s, NodeId v) { return s.count(v) > 0; };
+  std::set<NodeId> all;
+  all.insert(a.begin(), a.end());
+  all.insert(b.begin(), b.end());
+  all.insert(c.begin(), c.end());
+  for (NodeId v : all) {
+    const bool ia = in(a, v), ib = in(b, v), ic = in(c, v);
+    if (ia && ib && ic) {
+      ++r.t;
+    } else if (ia && ib) {
+      ++r.p[0];
+    } else if (ib && ic) {
+      ++r.p[1];
+    } else if (ic && ia) {
+      ++r.p[2];
+    } else if (ia) {
+      ++r.d[0];
+    } else if (ib) {
+      ++r.d[1];
+    } else {
+      ++r.d[2];
+    }
+  }
+  return r;
+}
+
+/// Motif id of a triple of node sets via the pattern tables, or 0 when the
+/// triple is not a valid instance (disconnected or duplicate edges).
+inline int BruteForceClassify(const std::set<NodeId>& a,
+                              const std::set<NodeId>& b,
+                              const std::set<NodeId>& c) {
+  const Regions r = ComputeRegions(a, b, c);
+  PatternBits bits = 0;
+  if (r.d[0] > 0) bits |= kPatternDa;
+  if (r.d[1] > 0) bits |= kPatternDb;
+  if (r.d[2] > 0) bits |= kPatternDc;
+  if (r.p[0] > 0) bits |= kPatternPab;
+  if (r.p[1] > 0) bits |= kPatternPbc;
+  if (r.p[2] > 0) bits |= kPatternPca;
+  if (r.t > 0) bits |= kPatternT;
+  return MotifIdFromPattern(bits);
+}
+
+/// Exact per-motif counts by checking every unordered triple of hyperedges
+/// with plain set algebra. O(|E|^3) — small graphs only.
+inline MotifCounts BruteForceCounts(const Hypergraph& graph) {
+  const size_t m = graph.num_edges();
+  std::vector<std::set<NodeId>> sets(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto span = graph.edge(e);
+    sets[e] = std::set<NodeId>(span.begin(), span.end());
+  }
+  MotifCounts counts;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      for (size_t k = j + 1; k < m; ++k) {
+        const int id = BruteForceClassify(sets[i], sets[j], sets[k]);
+        if (id != 0) counts[id] += 1.0;
+      }
+    }
+  }
+  return counts;
+}
+
+/// Random hypergraph for property sweeps: `num_edges` edges with sizes in
+/// [min_size, max_size] over `num_nodes` nodes. Duplicate edges allowed
+/// before dedup; builder semantics apply.
+inline Hypergraph RandomHypergraph(size_t num_nodes, size_t num_edges,
+                                   size_t min_size, size_t max_size,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  HypergraphBuilder builder;
+  std::vector<NodeId> edge;
+  for (size_t e = 0; e < num_edges; ++e) {
+    const size_t size = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(min_size),
+                         static_cast<int64_t>(max_size)));
+    const auto ids = rng.SampleDistinct(num_nodes, std::min(size, num_nodes));
+    edge.assign(ids.begin(), ids.end());
+    builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+  }
+  BuildOptions options;
+  options.num_nodes = num_nodes;
+  auto result = std::move(builder).Build(options);
+  return result.ok() ? std::move(result).value() : Hypergraph();
+}
+
+}  // namespace mochy::testing
+
+#endif  // MOCHY_TESTS_TEST_UTIL_H_
