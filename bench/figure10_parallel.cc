@@ -3,13 +3,14 @@
 //
 // Paper shape to verify: both algorithms scale near-linearly (paper: 5.4x
 // and 6.7x at 8 threads). Absolute speedups depend on the machine's cores.
+//
+// Both variants run through the MotifEngine facade; only
+// EngineOptions::num_threads varies between runs.
 #include <thread>
 
 #include "bench/bench_util.h"
-#include "common/timer.h"
 #include "gen/generators.h"
-#include "motif/mochy_aplus.h"
-#include "motif/mochy_e.h"
+#include "motif/engine.h"
 
 int main() {
   using namespace mochy;
@@ -21,30 +22,30 @@ int main() {
       DefaultConfig(Domain::kThreads, bench::BenchScale(0.4));
   config.seed = 5;
   const Hypergraph graph = GenerateDomainHypergraph(config).value();
-  const ProjectedGraph projection = ProjectedGraph::Build(graph, 4).value();
-  const uint64_t samples = projection.num_wedges() / 4;
+  const MotifEngine engine = MotifEngine::Create(graph, 4).value();
+  const uint64_t samples = engine.projection().num_wedges() / 4;
   std::printf("dataset: |E| = %zu, |wedges| = %llu, A+ samples = %llu\n",
               graph.num_edges(),
-              static_cast<unsigned long long>(projection.num_wedges()),
+              static_cast<unsigned long long>(engine.projection().num_wedges()),
               static_cast<unsigned long long>(samples));
 
   double base_e = 0.0, base_ap = 0.0;
   std::printf("%8s | %12s %8s | %12s %8s\n", "threads", "E time(s)",
               "speedup", "A+ time(s)", "speedup");
   for (size_t threads : {1, 2, 4, 8}) {
-    Timer te;
-    const MotifCounts exact = CountMotifsExact(graph, projection, threads);
-    const double e_seconds = te.Seconds();
-    MochyAPlusOptions options;
+    EngineOptions options;
+    options.num_threads = threads;
+
+    options.algorithm = Algorithm::kExact;
+    const EngineResult exact = engine.Count(options).value();
+
+    options.algorithm = Algorithm::kLinkSample;
     options.num_samples = samples;
     options.seed = 3;
-    options.num_threads = threads;
-    Timer ta;
-    const MotifCounts approx =
-        CountMotifsWedgeSample(graph, projection, options);
-    const double ap_seconds = ta.Seconds();
-    (void)exact;
-    (void)approx;
+    const EngineResult approx = engine.Count(options).value();
+
+    const double e_seconds = exact.stats.elapsed_seconds;
+    const double ap_seconds = approx.stats.elapsed_seconds;
     if (threads == 1) {
       base_e = e_seconds;
       base_ap = ap_seconds;

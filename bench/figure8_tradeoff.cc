@@ -4,12 +4,12 @@
 // Paper shape to verify: at the same ratio alpha = s/|E| = r/|∧|,
 // MoCHy-A+ is substantially more accurate than MoCHy-A (paper: up to 25x)
 // and much faster than MoCHy-E with small error (paper: up to 32x).
+//
+// All three variants run through the MotifEngine facade; the engine's run
+// statistics provide the timings.
 #include "bench/bench_util.h"
-#include "common/timer.h"
 #include "gen/generators.h"
-#include "motif/mochy_a.h"
-#include "motif/mochy_aplus.h"
-#include "motif/mochy_e.h"
+#include "motif/engine.h"
 
 int main() {
   using namespace mochy;
@@ -21,44 +21,39 @@ int main() {
     GeneratorConfig config = DefaultConfig(domain, bench::BenchScale());
     config.seed = 5;
     const Hypergraph graph = GenerateDomainHypergraph(config).value();
-    const ProjectedGraph projection = ProjectedGraph::Build(graph, 2).value();
+    const MotifEngine engine = MotifEngine::Create(graph, 2).value();
 
-    Timer exact_timer;
-    const MotifCounts exact = CountMotifsExact(graph, projection, 1);
-    const double exact_seconds = exact_timer.Seconds();
+    EngineOptions exact_options;
+    exact_options.algorithm = Algorithm::kExact;
+    const EngineResult exact = engine.Count(exact_options).value();
     std::printf("\n--- %s: |E| = %zu, |wedges| = %llu ---\n",
                 DomainName(domain).c_str(), graph.num_edges(),
-                static_cast<unsigned long long>(projection.num_wedges()));
-    std::printf("MoCHy-E: %.3fs (exact reference)\n", exact_seconds);
+                static_cast<unsigned long long>(engine.projection().num_wedges()));
+    std::printf("MoCHy-E: %.3fs (exact reference)\n",
+                exact.stats.elapsed_seconds);
     std::printf("%7s | %10s %10s | %10s %10s | %8s %8s\n", "ratio",
                 "A time(s)", "A err", "A+ time(s)", "A+ err", "A+/E", "A/A+");
 
     for (double ratio : {0.025, 0.05, 0.10, 0.15, 0.20, 0.25}) {
       double time_a = 0.0, err_a = 0.0, time_ap = 0.0, err_ap = 0.0;
       for (int trial = 0; trial < kTrials; ++trial) {
-        MochyAOptions oa;
-        oa.num_samples = std::max<uint64_t>(
-            1, static_cast<uint64_t>(ratio * graph.num_edges()));
-        oa.seed = 40 + static_cast<uint64_t>(trial);
-        Timer t1;
-        const MotifCounts counts_a =
-            CountMotifsEdgeSample(graph, projection, oa);
-        time_a += t1.Seconds() / kTrials;
-        err_a += counts_a.RelativeError(exact) / kTrials;
+        EngineOptions options;
+        options.sampling_ratio = ratio;
+        options.seed = 40 + static_cast<uint64_t>(trial);
 
-        MochyAPlusOptions op;
-        op.num_samples = std::max<uint64_t>(
-            1, static_cast<uint64_t>(ratio * projection.num_wedges()));
-        op.seed = 40 + static_cast<uint64_t>(trial);
-        Timer t2;
-        const MotifCounts counts_ap =
-            CountMotifsWedgeSample(graph, projection, op);
-        time_ap += t2.Seconds() / kTrials;
-        err_ap += counts_ap.RelativeError(exact) / kTrials;
+        options.algorithm = Algorithm::kEdgeSample;
+        const EngineResult a = engine.Count(options).value();
+        time_a += a.stats.elapsed_seconds / kTrials;
+        err_a += a.counts.RelativeError(exact.counts) / kTrials;
+
+        options.algorithm = Algorithm::kLinkSample;
+        const EngineResult ap = engine.Count(options).value();
+        time_ap += ap.stats.elapsed_seconds / kTrials;
+        err_ap += ap.counts.RelativeError(exact.counts) / kTrials;
       }
       std::printf("%6.1f%% | %10.3f %10.4f | %10.3f %10.4f | %7.1fx %7.1fx\n",
                   100 * ratio, time_a, err_a, time_ap, err_ap,
-                  time_ap > 0 ? exact_seconds / time_ap : 0.0,
+                  time_ap > 0 ? exact.stats.elapsed_seconds / time_ap : 0.0,
                   err_ap > 0 ? err_a / err_ap : 0.0);
     }
   }

@@ -3,9 +3,14 @@
 //
 // Usage:
 //   mochy_cli stats   <file>                      Table 2 statistics
-//   mochy_cli count   <file> [--threads N]        exact counts (MoCHy-E)
-//   mochy_cli sample  <file> [--ratio R] [--seed S] [--threads N]
-//                                                 MoCHy-A+ estimates
+//   mochy_cli count   <file> [--algorithm A] [--ratio R] [--samples N]
+//                            [--seed S] [--threads N]
+//                                                 h-motif counts/estimates
+//                                                 via the MotifEngine;
+//                                                 A = exact|edge-sample|
+//                                                     link-sample|auto
+//   mochy_cli sample  <file> [flags]              alias for
+//                                                 count --algorithm link-sample
 //   mochy_cli profile <file> [--random K] [--seed S] [--threads N]
 //                                                 significance Δt and CP
 //   mochy_cli enumerate <file> [--limit N]        list instances
@@ -21,9 +26,8 @@
 #include "gen/generators.h"
 #include "hypergraph/io.h"
 #include "hypergraph/stats.h"
+#include "motif/engine.h"
 #include "motif/enumerate.h"
-#include "motif/mochy_aplus.h"
-#include "motif/mochy_e.h"
 #include "profile/significance.h"
 
 namespace {
@@ -31,7 +35,9 @@ namespace {
 using namespace mochy;
 
 struct Flags {
+  Algorithm algorithm = Algorithm::kExact;
   double ratio = 0.05;
+  uint64_t samples = 0;  // 0 = derive from --ratio
   uint64_t seed = 1;
   size_t threads = 1;
   int random_graphs = 5;
@@ -48,8 +54,17 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       return false;
     }
     const char* value = argv[i + 1];
-    if (key == "--ratio") {
+    if (key == "--algorithm") {
+      auto parsed = ParseAlgorithm(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return false;
+      }
+      flags->algorithm = parsed.value();
+    } else if (key == "--ratio") {
       flags->ratio = std::atof(value);
+    } else if (key == "--samples") {
+      flags->samples = static_cast<uint64_t>(std::atoll(value));
     } else if (key == "--seed") {
       flags->seed = static_cast<uint64_t>(std::atoll(value));
     } else if (key == "--threads") {
@@ -73,7 +88,9 @@ int Usage() {
                "usage: mochy_cli <stats|count|sample|profile|enumerate> "
                "<file> [flags]\n"
                "       mochy_cli generate <coauth|contact|email|tags|threads>"
-               " <file> [flags]\n");
+               " <file> [flags]\n"
+               "flags: --algorithm exact|edge-sample|link-sample|auto "
+               "--ratio R --samples N --seed S --threads N\n");
   return 1;
 }
 
@@ -87,35 +104,30 @@ int RunStats(const Hypergraph& graph, const Flags& flags) {
   return 0;
 }
 
-int RunCount(const Hypergraph& graph, const Flags& flags) {
-  const MotifCounts counts = CountMotifsExact(graph, flags.threads);
+/// Both `count` and `sample` run through the engine; they differ only in
+/// the default algorithm.
+int RunEngine(const Hypergraph& graph, const Flags& flags) {
+  auto engine = MotifEngine::Create(graph, flags.threads);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 2;
+  }
+  EngineOptions options;
+  options.algorithm = flags.algorithm;
+  options.num_threads = flags.threads;
+  options.num_samples = flags.samples;
+  options.sampling_ratio = flags.ratio;
+  options.seed = flags.seed;
+  auto result = engine.value().Count(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  const MotifCounts& counts = result.value().counts;
+  std::printf("%s\n", result.value().stats.ToString().c_str());
   std::printf("%s", counts.ToString().c_str());
   std::printf("total: %.0f (open %.0f, closed %.0f)\n", counts.Total(),
               counts.TotalOpen(), counts.TotalClosed());
-  return 0;
-}
-
-int RunSample(const Hypergraph& graph, const Flags& flags) {
-  auto projection = ProjectedGraph::Build(graph, flags.threads);
-  if (!projection.ok()) {
-    std::fprintf(stderr, "%s\n", projection.status().ToString().c_str());
-    return 2;
-  }
-  MochyAPlusOptions options;
-  options.num_samples = std::max<uint64_t>(
-      1, static_cast<uint64_t>(flags.ratio *
-                               static_cast<double>(
-                                   projection.value().num_wedges())));
-  options.seed = flags.seed;
-  options.num_threads = flags.threads;
-  const MotifCounts counts =
-      CountMotifsWedgeSample(graph, projection.value(), options);
-  std::printf("MoCHy-A+ with r = %llu (%.2f%% of %llu wedges)\n",
-              static_cast<unsigned long long>(options.num_samples),
-              100.0 * flags.ratio,
-              static_cast<unsigned long long>(
-                  projection.value().num_wedges()));
-  std::printf("%s", counts.ToString().c_str());
   return 0;
 }
 
@@ -203,6 +215,9 @@ int main(int argc, char** argv) {
     if (argc < 4 || !ParseFlags(argc, argv, 4, &flags)) return Usage();
     return RunGenerate(argv[2], argv[3], flags);
   }
+  // `sample` only changes the default algorithm; an explicit --algorithm
+  // flag still wins.
+  if (command == "sample") flags.algorithm = Algorithm::kLinkSample;
   if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
   auto graph = Load(argv[2]);
   if (!graph.ok()) {
@@ -210,8 +225,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (command == "stats") return RunStats(graph.value(), flags);
-  if (command == "count") return RunCount(graph.value(), flags);
-  if (command == "sample") return RunSample(graph.value(), flags);
+  if (command == "count" || command == "sample") {
+    return RunEngine(graph.value(), flags);
+  }
   if (command == "profile") return RunProfile(graph.value(), flags);
   if (command == "enumerate") return RunEnumerate(graph.value(), flags);
   return Usage();

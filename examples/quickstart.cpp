@@ -11,9 +11,8 @@
 #include "hypergraph/builder.h"
 #include "hypergraph/projection.h"
 #include "hypergraph/stats.h"
+#include "motif/engine.h"
 #include "motif/enumerate.h"
-#include "motif/mochy_aplus.h"
-#include "motif/mochy_e.h"
 #include "profile/significance.h"
 
 int main() {
@@ -49,25 +48,32 @@ int main() {
   });
 
   // --- 2. Exact vs. approximate counting on a bigger graph. ---------------
+  // The MotifEngine builds the projection once and exposes every MoCHy
+  // variant behind one options struct.
   GeneratorConfig config = DefaultConfig(Domain::kCoauthorship, 0.3);
   config.seed = 42;
   const Hypergraph big = GenerateDomainHypergraph(config).value();
   std::printf("\n== Synthetic co-authorship graph ==\n");
   std::printf("|V| = %zu, |E| = %zu\n", big.num_nodes(), big.num_edges());
 
-  const ProjectedGraph big_projection = ProjectedGraph::Build(big).value();
-  const MotifCounts exact = CountMotifsExact(big, big_projection);
+  const MotifEngine engine = MotifEngine::Create(big).value();
 
-  MochyAPlusOptions approx_options;
-  approx_options.num_samples = big_projection.num_wedges() / 10;  // 10%
+  EngineOptions exact_options;
+  exact_options.algorithm = Algorithm::kExact;
+  const EngineResult exact = engine.Count(exact_options).value();
+
+  EngineOptions approx_options;
+  approx_options.algorithm = Algorithm::kLinkSample;  // MoCHy-A+
+  approx_options.sampling_ratio = 0.1;                // 10% of the wedges
   approx_options.seed = 7;
-  const MotifCounts approx =
-      CountMotifsWedgeSample(big, big_projection, approx_options);
+  const EngineResult approx = engine.Count(approx_options).value();
 
+  std::printf("exact:    %s\n", exact.stats.ToString().c_str());
+  std::printf("estimate: %s\n", approx.stats.ToString().c_str());
   std::printf("total instances: exact %.0f, MoCHy-A+ estimate %.0f\n",
-              exact.Total(), approx.Total());
+              exact.counts.Total(), approx.counts.Total());
   std::printf("MoCHy-A+ relative error at 10%% wedge sampling: %.4f\n",
-              approx.RelativeError(exact));
+              approx.counts.RelativeError(exact.counts));
 
   // --- 3. Characteristic profile (Eq. 1 + Eq. 2). --------------------------
   CharacteristicProfileOptions cp_options;

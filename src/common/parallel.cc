@@ -1,61 +1,116 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace mochy {
+
+namespace {
+
+// Set while a thread executes inside a parallel region. Nested regions run
+// inline: pool workers must never block waiting for pool capacity.
+thread_local bool t_inside_parallel_region = false;
+
+class RegionGuard {
+ public:
+  RegionGuard() : was_inside_(t_inside_parallel_region) {
+    t_inside_parallel_region = true;
+  }
+  ~RegionGuard() { t_inside_parallel_region = was_inside_; }
+
+ private:
+  bool was_inside_;
+};
+
+}  // namespace
 
 size_t DefaultThreadCount() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : hc;
 }
 
+ThreadPool& SharedThreadPool() {
+  // Leaked on purpose: workers must outlive any static whose destructor
+  // could still reach a parallel region during teardown.
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+void ParallelWorkers(size_t num_workers,
+                     const std::function<void(size_t worker)>& fn) {
+  if (num_workers == 0) num_workers = 1;
+  if (num_workers == 1 || t_inside_parallel_region) {
+    RegionGuard guard;
+    for (size_t w = 0; w < num_workers; ++w) fn(w);
+    return;
+  }
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t remaining = num_workers - 1;
+  ThreadPool& pool = SharedThreadPool();
+  for (size_t w = 1; w < num_workers; ++w) {
+    pool.Submit([&, w] {
+      {
+        RegionGuard guard;
+        fn(w);
+      }
+      {
+        // Notify under the lock: the waiter owns cv/mutex on its stack and
+        // may return (destroying both) the moment it can observe
+        // remaining == 0, which it can't until this mutex is released.
+        std::lock_guard<std::mutex> lock(mutex);
+        --remaining;
+        done.notify_one();
+      }
+    });
+  }
+  {
+    RegionGuard guard;
+    fn(0);
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
 void ParallelBlocks(
-    size_t n, size_t num_threads,
-    const std::function<void(size_t thread, size_t begin, size_t end)>& fn) {
-  if (num_threads == 0) num_threads = 1;
-  if (num_threads > n && n > 0) num_threads = n;
-  if (num_threads <= 1 || n == 0) {
+    size_t n, size_t num_workers,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn) {
+  if (num_workers == 0) num_workers = 1;
+  if (num_workers > n && n > 0) num_workers = n;
+  if (num_workers <= 1 || n == 0) {
     fn(0, 0, n);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  const size_t base = n / num_threads;
-  const size_t extra = n % num_threads;
-  size_t begin = 0;
-  for (size_t t = 0; t < num_threads; ++t) {
-    const size_t len = base + (t < extra ? 1 : 0);
-    const size_t end = begin + len;
-    threads.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
-    begin = end;
-  }
-  MOCHY_DCHECK(begin == n);
-  for (auto& th : threads) th.join();
+  const size_t base = n / num_workers;
+  const size_t extra = n % num_workers;
+  ParallelWorkers(num_workers, [&](size_t t) {
+    const size_t begin = t * base + (t < extra ? t : extra);
+    const size_t end = begin + base + (t < extra ? 1 : 0);
+    fn(t, begin, end);
+  });
 }
 
-void ParallelFor(size_t n, size_t num_threads,
+void ParallelFor(size_t n, size_t num_workers,
                  const std::function<void(size_t i)>& fn, size_t chunk) {
-  if (num_threads == 0) num_threads = 1;
+  if (num_workers == 0) num_workers = 1;
   if (chunk == 0) chunk = 1;
-  if (num_threads <= 1 || n <= chunk) {
+  if (num_workers <= 1 || n <= chunk) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   std::atomic<size_t> next{0};
-  auto worker = [&] {
+  ParallelWorkers(num_workers, [&](size_t) {
     while (true) {
       const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
       const size_t end = begin + chunk < n ? begin + chunk : n;
       for (size_t i = begin; i < end; ++i) fn(i);
     }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-  for (auto& th : threads) th.join();
+  });
 }
 
 }  // namespace mochy

@@ -1,9 +1,12 @@
-// ParallelFor: static range partitioning over a fresh set of threads.
+// Parallel execution primitives, all routed through one shared ThreadPool.
 //
 // All parallel algorithms in this library are "embarrassingly parallel over
-// a range plus a final merge" (paper Section 3.4), so a simple blocked
-// ParallelFor with per-thread state is all we need. Thread count 1 executes
-// inline, which keeps single-threaded runs deterministic and cheap.
+// a range plus a final merge" (paper Section 3.4). ParallelWorkers is the
+// base primitive — it runs a fixed set of logical workers on the shared
+// pool — and ParallelBlocks / ParallelFor are range decompositions built on
+// top of it. Worker count 1 executes inline, which keeps single-threaded
+// runs deterministic and cheap; nested parallel regions also run inline so
+// pool workers never block on each other.
 #ifndef MOCHY_COMMON_PARALLEL_H_
 #define MOCHY_COMMON_PARALLEL_H_
 
@@ -15,19 +18,33 @@
 
 namespace mochy {
 
+class ThreadPool;
+
 /// Hardware concurrency, at least 1.
 size_t DefaultThreadCount();
 
-/// Runs fn(thread_index, begin, end) on `num_threads` threads, where
+/// The process-wide worker pool (DefaultThreadCount() threads, created on
+/// first use) that executes every parallel region in the library.
+ThreadPool& SharedThreadPool();
+
+/// Runs fn(worker) for worker in [0, num_workers) concurrently: worker 0
+/// inline on the calling thread, the rest on the shared pool. Blocking
+/// call; `fn` must partition its own work by worker index. More logical
+/// workers than pool threads is fine (they queue). Nested calls from
+/// inside a parallel region degrade to sequential inline execution.
+void ParallelWorkers(size_t num_workers,
+                     const std::function<void(size_t worker)>& fn);
+
+/// Runs fn(worker, begin, end) on `num_workers` logical workers, where
 /// [begin, end) are disjoint contiguous blocks covering [0, n). Blocks are
 /// balanced to within one element. Blocking call.
 void ParallelBlocks(
-    size_t n, size_t num_threads,
-    const std::function<void(size_t thread, size_t begin, size_t end)>& fn);
+    size_t n, size_t num_workers,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn);
 
 /// Runs fn(i) for all i in [0, n), dynamically chunked so uneven work per
 /// element (e.g. skewed hyperedge degrees) still balances. Blocking call.
-void ParallelFor(size_t n, size_t num_threads,
+void ParallelFor(size_t n, size_t num_workers,
                  const std::function<void(size_t i)>& fn,
                  size_t chunk = 64);
 

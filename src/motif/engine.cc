@@ -1,0 +1,171 @@
+#include "motif/engine.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "motif/mochy_a.h"
+#include "motif/mochy_aplus.h"
+#include "motif/mochy_e.h"
+#include "motif/variance.h"
+
+namespace mochy {
+
+namespace {
+
+// kAuto switches from MoCHy-E to MoCHy-A+ once the exact work estimate
+// Σ_e |N_e|² (Theorem 1, dominating term) exceeds this many region
+// evaluations — roughly a second of single-threaded counting.
+constexpr uint64_t kAutoExactCostLimit = 50'000'000;
+
+uint64_t ResolveSamples(const EngineOptions& options, uint64_t population) {
+  if (options.num_samples > 0) return options.num_samples;
+  const double derived =
+      options.sampling_ratio * static_cast<double>(population);
+  return derived < 1.0 ? 1 : static_cast<uint64_t>(derived);
+}
+
+/// Mean over motifs with a non-zero exact count of Var[est] / count².
+double MeanRelativeVariance(const VarianceTerms& terms, Algorithm algorithm,
+                            uint64_t samples, uint64_t num_edges,
+                            uint64_t num_wedges) {
+  double sum = 0.0;
+  int nonzero = 0;
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    const double count = terms.counts[t];
+    if (count <= 0.0) continue;
+    const double var =
+        algorithm == Algorithm::kEdgeSample
+            ? MochyAVariance(terms, t, samples, num_edges)
+            : MochyAPlusVariance(terms, t, samples, num_wedges);
+    sum += var / (count * count);
+    ++nonzero;
+  }
+  return nonzero == 0 ? 0.0 : sum / nonzero;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kExact:
+      return "exact";
+    case Algorithm::kEdgeSample:
+      return "edge-sample";
+    case Algorithm::kLinkSample:
+      return "link-sample";
+    case Algorithm::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<Algorithm> ParseAlgorithm(std::string_view name) {
+  if (name == "exact" || name == "mochy-e") return Algorithm::kExact;
+  if (name == "edge-sample" || name == "mochy-a") return Algorithm::kEdgeSample;
+  if (name == "link-sample" || name == "mochy-a+") {
+    return Algorithm::kLinkSample;
+  }
+  if (name == "auto") return Algorithm::kAuto;
+  return Status::InvalidArgument("unknown algorithm '" + std::string(name) +
+                                 "' (want exact|edge-sample|link-sample|auto)");
+}
+
+std::string EngineStats::ToString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "algorithm=%s threads=%zu samples=%llu wedges=%llu "
+                "elapsed=%.3fs",
+                AlgorithmName(algorithm), num_threads,
+                static_cast<unsigned long long>(samples_used),
+                static_cast<unsigned long long>(num_wedges), elapsed_seconds);
+  return buffer;
+}
+
+Result<MotifEngine> MotifEngine::Create(const Hypergraph& graph,
+                                        size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  auto projection = ProjectedGraph::Build(graph, num_threads);
+  if (!projection.ok()) return projection.status();
+  return MotifEngine(graph, std::move(projection).value());
+}
+
+MotifEngine::MotifEngine(const Hypergraph& graph, ProjectedGraph projection)
+    : graph_(&graph), projection_(std::move(projection)) {
+  MOCHY_CHECK(projection_.num_edges() == graph.num_edges())
+      << "projection does not match hypergraph";
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const uint64_t degree = projection_.degree(e);
+    exact_cost_ += degree * degree;
+  }
+}
+
+Algorithm MotifEngine::ResolveAuto(const EngineOptions& options) const {
+  if (options.algorithm != Algorithm::kAuto) return options.algorithm;
+  if (projection_.num_wedges() == 0) return Algorithm::kExact;
+  return exact_cost_ <= kAutoExactCostLimit ? Algorithm::kExact
+                                            : Algorithm::kLinkSample;
+}
+
+Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
+  const Algorithm algorithm = ResolveAuto(options);
+  // The ratio only matters when a sampling strategy actually derives its
+  // sample count from it; exact counting ignores both knobs.
+  if (algorithm != Algorithm::kExact && options.num_samples == 0 &&
+      (!(options.sampling_ratio > 0.0) || options.sampling_ratio > 1.0)) {
+    return Status::InvalidArgument(
+        "sampling_ratio must be in (0, 1] when num_samples is 0");
+  }
+  const size_t num_threads =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
+
+  EngineResult result;
+  result.stats.algorithm = algorithm;
+  result.stats.num_threads = num_threads;
+  result.stats.num_wedges = projection_.num_wedges();
+  result.stats.relative_variance = std::numeric_limits<double>::quiet_NaN();
+
+  Timer timer;
+  switch (algorithm) {
+    case Algorithm::kExact: {
+      result.counts = CountMotifsExact(*graph_, projection_, num_threads);
+      result.stats.relative_variance = 0.0;
+      break;
+    }
+    case Algorithm::kEdgeSample: {
+      MochyAOptions sampler;
+      sampler.num_samples = ResolveSamples(options, graph_->num_edges());
+      sampler.seed = options.seed;
+      sampler.num_threads = num_threads;
+      result.counts = CountMotifsEdgeSample(*graph_, projection_, sampler);
+      result.stats.samples_used = sampler.num_samples;
+      break;
+    }
+    case Algorithm::kLinkSample: {
+      MochyAPlusOptions sampler;
+      sampler.num_samples = ResolveSamples(options, projection_.num_wedges());
+      sampler.seed = options.seed;
+      sampler.num_threads = num_threads;
+      result.counts = CountMotifsWedgeSample(*graph_, projection_, sampler);
+      result.stats.samples_used = sampler.num_samples;
+      break;
+    }
+    case Algorithm::kAuto:
+      return Status::Internal("kAuto survived ResolveAuto");
+  }
+  result.stats.elapsed_seconds = timer.Seconds();
+
+  if (options.estimate_variance && algorithm != Algorithm::kExact &&
+      result.stats.samples_used > 0) {
+    const VarianceTerms terms = ComputeVarianceTerms(*graph_, projection_);
+    result.stats.relative_variance = MeanRelativeVariance(
+        terms, algorithm, result.stats.samples_used, graph_->num_edges(),
+        projection_.num_wedges());
+  }
+  return result;
+}
+
+}  // namespace mochy

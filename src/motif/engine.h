@@ -1,0 +1,121 @@
+// MotifEngine: the single entry point for h-motif counting.
+//
+// The paper ships three counting algorithms — MoCHy-E (exact, Algorithm 2),
+// MoCHy-A (hyperedge sampling, Algorithm 4) and MoCHy-A+ (hyperwedge
+// sampling, Algorithm 5). The engine wraps all of them behind one strategy
+// selector so callers (CLI, examples, experiment drivers, services) choose
+// an algorithm with an option instead of a code path, and get uniform run
+// statistics back. The projected graph is built once at engine
+// construction and reused across Count() calls; all parallel execution is
+// routed through the shared thread pool (common/parallel).
+#ifndef MOCHY_MOTIF_ENGINE_H_
+#define MOCHY_MOTIF_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+#include "motif/counts.h"
+
+namespace mochy {
+
+/// Counting strategy.
+enum class Algorithm {
+  kExact,       ///< MoCHy-E: exact counts
+  kEdgeSample,  ///< MoCHy-A: hyperedge sampling (unbiased estimates)
+  kLinkSample,  ///< MoCHy-A+: hyperwedge sampling (lower variance than A)
+  kAuto,        ///< exact on small inputs, MoCHy-A+ beyond a cost budget
+};
+
+/// Short stable name used in flags and reports: "exact", "edge-sample",
+/// "link-sample", "auto".
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Inverse of AlgorithmName; also accepts the paper aliases "mochy-e",
+/// "mochy-a", "mochy-a+". Errors on anything else.
+Result<Algorithm> ParseAlgorithm(std::string_view name);
+
+struct EngineOptions {
+  Algorithm algorithm = Algorithm::kAuto;
+
+  /// Logical workers for counting (and projection building in Create()).
+  /// 0 means DefaultThreadCount().
+  size_t num_threads = 1;
+
+  /// Sample count for the sampling algorithms (s for MoCHy-A, r for
+  /// MoCHy-A+). 0 derives it as sampling_ratio * population, where the
+  /// population is |E| (edge sampling) or |∧| (link sampling). Ignored by
+  /// kExact.
+  uint64_t num_samples = 0;
+
+  /// Used only when num_samples == 0; must then be in (0, 1].
+  double sampling_ratio = 0.1;
+
+  /// RNG seed for the sampling algorithms; same seed, sample count and
+  /// algorithm => identical estimates, regardless of num_threads.
+  uint64_t seed = 1;
+
+  /// When true, also evaluates the closed-form estimator variance
+  /// (motif/variance, Theorems 2 and 4) and reports the mean relative
+  /// variance in EngineStats. Requires enumerating all instances — O(I^2)
+  /// pair terms — so this is for small graphs / tests only.
+  bool estimate_variance = false;
+};
+
+/// Uniform run statistics, filled for every algorithm.
+struct EngineStats {
+  Algorithm algorithm = Algorithm::kExact;  ///< strategy actually executed
+  double elapsed_seconds = 0.0;             ///< counting time (not Create())
+  uint64_t samples_used = 0;                ///< 0 for exact counting
+  size_t num_threads = 1;                   ///< resolved worker count
+  uint64_t num_wedges = 0;                  ///< |∧| of the input
+  /// Mean over motifs with a non-zero exact count of
+  /// Var[estimate_t] / count_t^2; 0 for exact counting, NaN when
+  /// estimate_variance was not requested.
+  double relative_variance = 0.0;
+
+  std::string ToString() const;
+};
+
+struct EngineResult {
+  MotifCounts counts;
+  EngineStats stats;
+};
+
+class MotifEngine {
+ public:
+  /// Builds the projected graph of `graph` with `num_threads` workers
+  /// (0 = DefaultThreadCount()) and wraps both. `graph` must outlive the
+  /// engine; Count() never mutates it, so one engine can serve many calls.
+  static Result<MotifEngine> Create(const Hypergraph& graph,
+                                    size_t num_threads = 0);
+
+  /// Wraps an already-built projection (must match `graph`).
+  MotifEngine(const Hypergraph& graph, ProjectedGraph projection);
+
+  MotifEngine(MotifEngine&&) = default;
+  MotifEngine& operator=(MotifEngine&&) = default;
+
+  /// Counts (kExact) or estimates (sampling strategies) all 26 h-motif
+  /// instance counts. Thread-safe: concurrent Count() calls on one engine
+  /// are fine, the engine state is read-only.
+  Result<EngineResult> Count(const EngineOptions& options = {}) const;
+
+  const Hypergraph& graph() const { return *graph_; }
+  const ProjectedGraph& projection() const { return projection_; }
+
+  /// The strategy kAuto resolves to for this input under `options`.
+  Algorithm ResolveAuto(const EngineOptions& options) const;
+
+ private:
+  const Hypergraph* graph_;  // not owned
+  ProjectedGraph projection_;
+  uint64_t exact_cost_ = 0;  // Σ_e |N_e|² — MoCHy-E work estimate (Thm 1)
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_ENGINE_H_

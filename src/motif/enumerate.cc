@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "motif/pattern.h"
 
 namespace mochy {
@@ -64,14 +64,7 @@ void EnumerateInstancesParallel(
                        [&](const MotifInstance& inst) { fn(thread, inst); });
     }
   };
-  if (num_threads == 1) {
-    worker(0);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-  for (auto& th : threads) th.join();
+  ParallelWorkers(num_threads, worker);
 }
 
 std::vector<MotifInstance> CollectInstances(const Hypergraph& graph,

@@ -1,9 +1,9 @@
 #include "motif/mochy_a.h"
 
-#include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace mochy {
@@ -79,14 +79,7 @@ MotifCounts CountMotifsEdgeSample(const Hypergraph& graph,
       ProcessSampledEdge(graph, projection, ei, stamp, partial[thread]);
     }
   };
-  if (num_threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-    for (auto& th : threads) th.join();
-  }
+  ParallelWorkers(num_threads, worker);
 
   for (const MotifCounts& part : partial) total += part;
   // Rescale: each instance is counted once per sampled member hyperedge,

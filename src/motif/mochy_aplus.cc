@@ -1,10 +1,10 @@
 #include "motif/mochy_aplus.h"
 
 #include <algorithm>
-#include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace mochy {
@@ -95,14 +95,7 @@ MotifCounts CountMotifsWedgeSample(const Hypergraph& graph,
                    partial[thread]);
     }
   };
-  if (num_threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-    for (auto& th : threads) th.join();
-  }
+  ParallelWorkers(num_threads, worker);
 
   for (const MotifCounts& part : partial) total += part;
   RescaleWedgeEstimates(wedges, options.num_samples, &total);

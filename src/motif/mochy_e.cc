@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace mochy {
 
@@ -53,16 +53,7 @@ MotifCounts CountMotifsExact(const Hypergraph& graph,
       }
     }
   };
-  if (num_threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) {
-      threads.emplace_back(worker, t);
-    }
-    for (auto& th : threads) th.join();
-  }
+  ParallelWorkers(num_threads, worker);
 
   MotifCounts total;
   for (const MotifCounts& part : partial) total += part;

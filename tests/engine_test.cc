@@ -1,0 +1,199 @@
+#include "motif/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hypergraph/builder.h"
+#include "motif/mochy_e.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+Hypergraph PaperExample() {
+  // Figure 2: e1={L,K,F}, e2={L,H,K}, e3={B,G,L}, e4={S,R,F}.
+  return MakeHypergraph({{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}}).value();
+}
+
+TEST(AlgorithmNameTest, RoundTripsThroughParse) {
+  for (Algorithm a : {Algorithm::kExact, Algorithm::kEdgeSample,
+                      Algorithm::kLinkSample, Algorithm::kAuto}) {
+    auto parsed = ParseAlgorithm(AlgorithmName(a));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), a);
+  }
+}
+
+TEST(AlgorithmNameTest, AcceptsPaperAliases) {
+  EXPECT_EQ(ParseAlgorithm("mochy-e").value(), Algorithm::kExact);
+  EXPECT_EQ(ParseAlgorithm("mochy-a").value(), Algorithm::kEdgeSample);
+  EXPECT_EQ(ParseAlgorithm("mochy-a+").value(), Algorithm::kLinkSample);
+  EXPECT_FALSE(ParseAlgorithm("mochy-b").ok());
+  EXPECT_FALSE(ParseAlgorithm("").ok());
+}
+
+TEST(MotifEngineTest, RejectsInvalidSamplingRatio) {
+  const Hypergraph g = PaperExample();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions options;
+  options.algorithm = Algorithm::kLinkSample;
+  options.sampling_ratio = 0.0;
+  EXPECT_FALSE(engine.Count(options).ok());
+  options.sampling_ratio = 1.5;
+  EXPECT_FALSE(engine.Count(options).ok());
+  options.num_samples = 10;  // explicit sample count bypasses the ratio
+  EXPECT_TRUE(engine.Count(options).ok());
+  // Exact counting ignores the sampling knobs entirely.
+  options.algorithm = Algorithm::kExact;
+  options.num_samples = 0;
+  options.sampling_ratio = 0.0;
+  EXPECT_TRUE(engine.Count(options).ok());
+}
+
+TEST(MotifEngineTest, ExactMatchesBruteForceOnRandomGraphs) {
+  // Property sweep: the facade's exact mode must agree with the
+  // independent O(|E|^3) set-algebra counter on every random graph.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const size_t nodes = 10 + (seed % 4) * 10;
+    const size_t edges = 15 + (seed % 3) * 10;
+    const Hypergraph g = testing::RandomHypergraph(nodes, edges, 1, 6, seed);
+    const MotifEngine engine = MotifEngine::Create(g).value();
+    EngineOptions options;
+    options.algorithm = Algorithm::kExact;
+    const EngineResult result = engine.Count(options).value();
+    const MotifCounts brute = testing::BruteForceCounts(g);
+    for (int t = 1; t <= kNumHMotifs; ++t) {
+      EXPECT_DOUBLE_EQ(result.counts[t], brute[t])
+          << "motif " << t << " seed " << seed;
+    }
+    EXPECT_EQ(result.stats.algorithm, Algorithm::kExact);
+    EXPECT_EQ(result.stats.samples_used, 0u);
+    EXPECT_DOUBLE_EQ(result.stats.relative_variance, 0.0);
+  }
+}
+
+TEST(MotifEngineTest, ExactIsThreadCountInvariant) {
+  const Hypergraph g = testing::RandomHypergraph(40, 90, 1, 6, 11);
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions options;
+  options.algorithm = Algorithm::kExact;
+  const EngineResult serial = engine.Count(options).value();
+  options.num_threads = 4;
+  const EngineResult parallel = engine.Count(options).value();
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(serial.counts[t], parallel.counts[t]) << "motif " << t;
+  }
+}
+
+TEST(MotifEngineTest, SamplingModesAreDeterministicInSeed) {
+  const Hypergraph g = testing::RandomHypergraph(30, 60, 1, 5, 3);
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  for (Algorithm a : {Algorithm::kEdgeSample, Algorithm::kLinkSample}) {
+    EngineOptions options;
+    options.algorithm = a;
+    options.num_samples = 200;
+    options.seed = 99;
+    const EngineResult once = engine.Count(options).value();
+    options.num_threads = 4;  // per-sample RNG fork: threads don't matter
+    const EngineResult again = engine.Count(options).value();
+    for (int t = 1; t <= kNumHMotifs; ++t) {
+      EXPECT_DOUBLE_EQ(once.counts[t], again.counts[t])
+          << AlgorithmName(a) << " motif " << t;
+    }
+  }
+}
+
+TEST(MotifEngineTest, SamplingModesConvergeToExact) {
+  // With the whole population sampled many times over, both unbiased
+  // estimators must land close to the exact counts (fixed seeds keep this
+  // deterministic; tolerance covers the residual sampling noise).
+  const Hypergraph g = testing::RandomHypergraph(25, 45, 1, 5, 7);
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions exact_options;
+  exact_options.algorithm = Algorithm::kExact;
+  const MotifCounts exact = engine.Count(exact_options).value().counts;
+  ASSERT_GT(exact.Total(), 0.0);
+
+  for (Algorithm a : {Algorithm::kEdgeSample, Algorithm::kLinkSample}) {
+    EngineOptions options;
+    options.algorithm = a;
+    options.num_samples = 60000;
+    options.seed = 5;
+    const EngineResult result = engine.Count(options).value();
+    EXPECT_LT(result.counts.RelativeError(exact), 0.05)
+        << AlgorithmName(a) << " did not converge";
+    EXPECT_EQ(result.stats.samples_used, 60000u);
+  }
+}
+
+TEST(MotifEngineTest, VarianceEstimateShrinksWithMoreSamples) {
+  const Hypergraph g = testing::RandomHypergraph(20, 35, 1, 5, 13);
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions options;
+  options.algorithm = Algorithm::kLinkSample;
+  options.estimate_variance = true;
+  options.num_samples = 100;
+  const double coarse =
+      engine.Count(options).value().stats.relative_variance;
+  options.num_samples = 1000;
+  const double fine = engine.Count(options).value().stats.relative_variance;
+  EXPECT_GT(coarse, 0.0);
+  EXPECT_LT(fine, coarse);
+  // Var ~ 1/r (Theorems 2 and 4): 10x the samples => ~10x smaller.
+  EXPECT_NEAR(coarse / fine, 10.0, 2.0);
+}
+
+TEST(MotifEngineTest, AutoPicksExactOnSmallInputs) {
+  const Hypergraph g = PaperExample();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions options;  // algorithm = kAuto
+  const EngineResult result = engine.Count(options).value();
+  EXPECT_EQ(result.stats.algorithm, Algorithm::kExact);
+  EXPECT_EQ(engine.ResolveAuto(options), Algorithm::kExact);
+  const MotifCounts brute = testing::BruteForceCounts(g);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(result.counts[t], brute[t]) << "motif " << t;
+  }
+}
+
+TEST(MotifEngineTest, MatchesFreeFunctionExactCounter) {
+  const Hypergraph g = testing::RandomHypergraph(35, 70, 1, 6, 29);
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions options;
+  options.algorithm = Algorithm::kExact;
+  const EngineResult facade = engine.Count(options).value();
+  const MotifCounts direct = CountMotifsExact(g);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(facade.counts[t], direct[t]) << "motif " << t;
+  }
+}
+
+TEST(MotifEngineTest, HandlesEmptyAndWedgeFreeGraphs) {
+  // A single hyperedge has no wedges: sampling modes must return all-zero
+  // estimates instead of dividing by zero.
+  auto single = MakeHypergraph({{0, 1, 2}}).value();
+  const MotifEngine engine = MotifEngine::Create(single).value();
+  for (Algorithm a : {Algorithm::kExact, Algorithm::kEdgeSample,
+                      Algorithm::kLinkSample, Algorithm::kAuto}) {
+    EngineOptions options;
+    options.algorithm = a;
+    options.num_samples = 10;
+    const EngineResult result = engine.Count(options).value();
+    EXPECT_DOUBLE_EQ(result.counts.Total(), 0.0) << AlgorithmName(a);
+  }
+}
+
+TEST(MotifEngineTest, StatsReportWedgesAndElapsedTime) {
+  const Hypergraph g = testing::RandomHypergraph(30, 60, 1, 5, 31);
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  const EngineResult result = engine.Count().value();
+  EXPECT_EQ(result.stats.num_wedges, engine.projection().num_wedges());
+  EXPECT_GE(result.stats.elapsed_seconds, 0.0);
+  const std::string report = result.stats.ToString();
+  EXPECT_NE(report.find("algorithm="), std::string::npos);
+  EXPECT_NE(report.find("elapsed="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mochy

@@ -1,0 +1,81 @@
+// Golden-value regression tests for the paper's running example
+// (Figure 2): the full 26-motif count vector is pinned so refactors of the
+// counting stack cannot silently change results. The engine facade, the
+// free-function counter and the brute-force reference must all reproduce
+// it bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "hypergraph/builder.h"
+#include "motif/engine.h"
+#include "motif/mochy_e.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+// Authors: L=0, K=1, F=2, H=3, B=4, G=5, S=6, R=7.
+//   e1 = {L, K, F} (KDD'05),    e2 = {L, H, K} (WWW'10),
+//   e3 = {B, G, L} (Science'16), e4 = {S, R, F} (VLDB'87).
+Hypergraph Figure2Example() {
+  return MakeHypergraph({{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}}).value();
+}
+
+// Figure 2(d): exactly three instances —
+//   {e1, e2, e3} -> h-motif 10 (closed via the shared author L),
+//   {e1, e2, e4} -> h-motif 21 (open: e2 ∩ e4 = ∅),
+//   {e1, e3, e4} -> h-motif 22 (open: e3 ∩ e4 = ∅).
+constexpr std::array<double, kNumHMotifs> kFigure2Golden = {
+    /* 1-13 */ 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0,
+    /* 14-26 */ 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0};
+
+void ExpectGolden(const MotifCounts& counts, const char* label) {
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_DOUBLE_EQ(counts[t], kFigure2Golden[t - 1])
+        << label << ": motif " << t;
+  }
+}
+
+TEST(Figure2GoldenTest, EngineExactReproducesGoldenCounts) {
+  const Hypergraph g = Figure2Example();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions options;
+  options.algorithm = Algorithm::kExact;
+  const EngineResult result = engine.Count(options).value();
+  ExpectGolden(result.counts, "engine");
+  EXPECT_DOUBLE_EQ(result.counts.Total(), 3.0);
+  EXPECT_DOUBLE_EQ(result.counts.TotalOpen(), 2.0);
+  EXPECT_DOUBLE_EQ(result.counts.TotalClosed(), 1.0);
+}
+
+TEST(Figure2GoldenTest, FreeFunctionCounterReproducesGoldenCounts) {
+  ExpectGolden(CountMotifsExact(Figure2Example()), "mochy-e");
+}
+
+TEST(Figure2GoldenTest, BruteForceReferenceAgreesWithGolden) {
+  ExpectGolden(testing::BruteForceCounts(Figure2Example()), "brute-force");
+}
+
+TEST(Figure2GoldenTest, GoldenIsThreadCountInvariant) {
+  const Hypergraph g = Figure2Example();
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ExpectGolden(CountMotifsExact(g, threads), "threads");
+  }
+}
+
+TEST(Figure2GoldenTest, ProjectionShapeMatchesFigure2) {
+  // Figure 2(b): L connects e1-e2, e1-e3, e2-e3; F connects e1-e4.
+  const Hypergraph g = Figure2Example();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EXPECT_EQ(engine.projection().num_wedges(), 4u);
+  EXPECT_EQ(engine.projection().Weight(0, 1), 2u);  // e1 ∩ e2 = {L, K}
+  EXPECT_EQ(engine.projection().Weight(0, 2), 1u);  // e1 ∩ e3 = {L}
+  EXPECT_EQ(engine.projection().Weight(0, 3), 1u);  // e1 ∩ e4 = {F}
+  EXPECT_EQ(engine.projection().Weight(1, 2), 1u);  // e2 ∩ e3 = {L}
+  EXPECT_EQ(engine.projection().Weight(1, 3), 0u);  // disjoint
+  EXPECT_EQ(engine.projection().Weight(2, 3), 0u);  // disjoint
+}
+
+}  // namespace
+}  // namespace mochy
