@@ -12,7 +12,18 @@
 //   mochy_cli sample  <file> [flags]              alias for
 //                                                 count --algorithm link-sample
 //   mochy_cli profile <file> [--random K] [--seed S] [--threads N]
-//                                                 significance Δt and CP
+//                            [--sample-ratio R] [--epsilon E]
+//                            [--null chung-lu|perturb]
+//                                                 batched CP pipeline:
+//                                                 real + K null graphs are
+//                                                 counted in one BatchRunner
+//                                                 pass; prints Δt, CP, the
+//                                                 Table 3 RC/RD columns and
+//                                                 the batch statistics.
+//                                                 R < 0 (default) counts
+//                                                 exactly; otherwise
+//                                                 MoCHy-A+ with R·|∧| wedge
+//                                                 samples per graph
 //   mochy_cli enumerate <file> [--limit N]        list instances
 //   mochy_cli generate <domain> <file> [--scale X] [--seed S]
 //                                                 write a synthetic dataset
@@ -39,8 +50,11 @@ struct Flags {
   double ratio = 0.05;
   uint64_t samples = 0;  // 0 = derive from --ratio
   uint64_t seed = 1;
-  size_t threads = 1;
+  size_t threads = 0;  // 0 = DefaultThreadCount()
   int random_graphs = 5;
+  double sample_ratio = -1.0;  // profile: < 0 = exact counting
+  double epsilon = 1.0;
+  NullModel null_model = NullModel::kChungLu;
   size_t limit = 50;
   double scale = 0.25;
 };
@@ -71,6 +85,21 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       flags->threads = static_cast<size_t>(std::atoll(value));
     } else if (key == "--random") {
       flags->random_graphs = std::atoi(value);
+    } else if (key == "--sample-ratio") {
+      flags->sample_ratio = std::atof(value);
+    } else if (key == "--epsilon") {
+      flags->epsilon = std::atof(value);
+    } else if (key == "--null") {
+      const std::string model = value;
+      if (model == "chung-lu") {
+        flags->null_model = NullModel::kChungLu;
+      } else if (model == "perturb") {
+        flags->null_model = NullModel::kPerturb;
+      } else {
+        std::fprintf(stderr, "unknown null model '%s' (want chung-lu|perturb)\n",
+                     value);
+        return false;
+      }
     } else if (key == "--limit") {
       flags->limit = static_cast<size_t>(std::atoll(value));
     } else if (key == "--scale") {
@@ -90,7 +119,9 @@ int Usage() {
                "       mochy_cli generate <coauth|contact|email|tags|threads>"
                " <file> [flags]\n"
                "flags: --algorithm exact|edge-sample|link-sample|auto "
-               "--ratio R --samples N --seed S --threads N\n");
+               "--ratio R --samples N --seed S --threads N (0 = all cores)\n"
+               "       profile: --random K --sample-ratio R --epsilon E "
+               "--null chung-lu|perturb\n");
   return 1;
 }
 
@@ -136,19 +167,24 @@ int RunProfile(const Hypergraph& graph, const Flags& flags) {
   options.num_random_graphs = flags.random_graphs;
   options.seed = flags.seed;
   options.num_threads = flags.threads;
+  options.sample_ratio = flags.sample_ratio;
+  options.epsilon = flags.epsilon;
+  options.null_model = flags.null_model;
   auto profile = ComputeCharacteristicProfile(graph, options);
   if (!profile.ok()) {
     std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
     return 2;
   }
-  std::printf("%7s %12s %12s %8s %8s\n", "h-motif", "real", "random",
-              "delta", "CP");
+  const CharacteristicProfile& p = profile.value();
+  std::printf("%7s %12s %12s %8s %8s %8s %4s\n", "h-motif", "real", "random",
+              "delta", "CP", "RC", "RD");
   for (int t = 1; t <= kNumHMotifs; ++t) {
-    std::printf("%7d %12.4g %12.4g %+8.3f %+8.3f\n", t,
-                profile.value().real_counts[t],
-                profile.value().random_mean[t], profile.value().delta[t - 1],
-                profile.value().cp[t - 1]);
+    std::printf("%7d %12.4g %12.4g %+8.3f %+8.3f %+8.3f %4d\n", t,
+                p.real_counts[t], p.random_mean[t], p.delta[t - 1],
+                p.cp[t - 1], p.relative_counts[t - 1],
+                p.rank_difference[t - 1]);
   }
+  std::printf("batch: %s\n", p.batch.ToString().c_str());
   return 0;
 }
 

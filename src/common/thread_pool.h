@@ -1,9 +1,34 @@
-// Fixed-size worker pool used by the parallel MoCHy variants.
-//
-// Tasks are arbitrary callables; Submit() is thread-safe. The pool exists
-// for the library's ParallelFor (see parallel.h), which is how Algorithm 1,
-// MoCHy-E and the samplers parallelize over hyperedges / samples
-// (Section 3.4 of the paper).
+/// \file
+/// Fixed-size worker pool used by the parallel MoCHy variants.
+///
+/// Tasks are arbitrary callables. The pool exists for the library's
+/// ParallelWorkers / ParallelFor (see parallel.h), which is how
+/// Algorithm 1, MoCHy-E, the samplers and BatchRunner parallelize over
+/// hyperedges / samples / batch items (Section 3.4 of the paper). One
+/// process-wide instance (SharedThreadPool()) executes every parallel
+/// region, so concurrent engines and batches share one set of workers
+/// instead of oversubscribing the machine.
+///
+/// \par Thread safety
+/// Submit() and Wait() are safe to call from any thread. Submit() may
+/// additionally be called from inside a running task; Wait() must NOT —
+/// the waiting task itself counts as in-flight, so the "all done"
+/// condition could never hold (guaranteed self-deadlock). Destruction
+/// drains the queue before joining.
+///
+/// \par Scheduling contract
+/// Tasks run in FIFO order but with no isolation between submitters, and
+/// a task must never block waiting for a *later-queued* task to finish —
+/// with all workers busy that later task may never start (deadlock).
+/// Higher-level code upholds this by running nested parallel regions
+/// inline on the worker that encounters them (see parallel.h), which is
+/// also why batch items never submit sub-tasks of their own.
+///
+/// \par Determinism
+/// Which worker executes a task is nondeterministic; every algorithm in
+/// this library therefore derives its results from the task's *index*
+/// (hub id, sample number, batch item), never from the executing worker,
+/// which is what makes counting results thread-count-invariant.
 #ifndef MOCHY_COMMON_THREAD_POOL_H_
 #define MOCHY_COMMON_THREAD_POOL_H_
 
@@ -17,6 +42,8 @@
 
 namespace mochy {
 
+/// Fixed-size FIFO task pool; see the file comment for the scheduling
+/// contract.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -28,12 +55,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads (fixed at construction).
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker. Thread-safe; may be
+  /// called from inside a running task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing — including
+  /// tasks submitted by other threads; callers that need to wait for
+  /// *their* work only should count completions themselves (as
+  /// ParallelWorkers does). Never call from inside a task: the caller's
+  /// own task stays in-flight, so this would deadlock.
   void Wait();
 
  private:

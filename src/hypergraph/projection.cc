@@ -47,6 +47,7 @@ class NeighborhoodScratch {
 
 Result<ProjectedGraph> ProjectedGraph::Build(const Hypergraph& graph,
                                              size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
   const size_t m = graph.num_edges();
   ProjectedGraph out;
   out.offsets_.assign(m + 1, 0);
@@ -121,6 +122,7 @@ std::pair<EdgeId, EdgeId> ProjectedGraph::WedgeAt(uint64_t k) const {
 
 ProjectedDegrees ComputeProjectedDegrees(const Hypergraph& graph,
                                          size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
   const size_t m = graph.num_edges();
   ProjectedDegrees result;
   result.degree.assign(m, 0);

@@ -30,7 +30,8 @@ class ProjectedGraph {
  public:
   ProjectedGraph() = default;
 
-  /// Builds the projection of `graph` using `num_threads` workers.
+  /// Builds the projection of `graph` using `num_threads` workers
+  /// (0 = DefaultThreadCount()).
   static Result<ProjectedGraph> Build(const Hypergraph& graph,
                                       size_t num_threads = 1);
 
@@ -74,7 +75,8 @@ class ProjectedGraph {
 
 /// Computes only the projected-graph degree |N_e| of every hyperedge plus
 /// |∧|, without materializing adjacency. Memory O(|E|); used for Table 2
-/// statistics and by the on-the-fly variants.
+/// statistics and by the on-the-fly variants. num_threads 0 means
+/// DefaultThreadCount().
 struct ProjectedDegrees {
   std::vector<uint32_t> degree;  ///< |N_e| per hyperedge
   uint64_t num_wedges = 0;       ///< |∧|

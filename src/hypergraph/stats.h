@@ -21,7 +21,8 @@ struct DatasetStats {
   double mean_degree = 0.0;    ///< mean |E_v| over nodes with degree > 0
 };
 
-/// Computes all Table 2 statistics; the wedge count uses `num_threads`.
+/// Computes all Table 2 statistics; the wedge count uses `num_threads`
+/// (0 = DefaultThreadCount()).
 DatasetStats ComputeStats(const Hypergraph& graph, size_t num_threads = 1);
 
 /// Node degree histogram: result[d] = #nodes with degree d.

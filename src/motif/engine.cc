@@ -115,9 +115,10 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
   // The ratio only matters when a sampling strategy actually derives its
   // sample count from it; exact counting ignores both knobs.
   if (algorithm != Algorithm::kExact && options.num_samples == 0 &&
-      (!(options.sampling_ratio > 0.0) || options.sampling_ratio > 1.0)) {
+      (!(options.sampling_ratio > 0.0) ||
+       !std::isfinite(options.sampling_ratio))) {
     return Status::InvalidArgument(
-        "sampling_ratio must be in (0, 1] when num_samples is 0");
+        "sampling_ratio must be positive and finite when num_samples is 0");
   }
   const size_t num_threads =
       options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;

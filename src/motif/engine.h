@@ -1,13 +1,35 @@
-// MotifEngine: the single entry point for h-motif counting.
-//
-// The paper ships three counting algorithms — MoCHy-E (exact, Algorithm 2),
-// MoCHy-A (hyperedge sampling, Algorithm 4) and MoCHy-A+ (hyperwedge
-// sampling, Algorithm 5). The engine wraps all of them behind one strategy
-// selector so callers (CLI, examples, experiment drivers, services) choose
-// an algorithm with an option instead of a code path, and get uniform run
-// statistics back. The projected graph is built once at engine
-// construction and reused across Count() calls; all parallel execution is
-// routed through the shared thread pool (common/parallel).
+/// \file
+/// MotifEngine: the single entry point for h-motif counting.
+///
+/// The paper ships three counting algorithms — MoCHy-E (exact,
+/// Algorithm 2), MoCHy-A (hyperedge sampling, Algorithm 4) and MoCHy-A+
+/// (hyperwedge sampling, Algorithm 5). The engine wraps all of them
+/// behind one strategy selector so callers (CLI, examples, experiment
+/// drivers, services) choose an algorithm with an option instead of a
+/// code path, and get uniform run statistics back.
+///
+/// \par Engine lifecycle
+/// For a single graph, the projected graph is built once — at engine
+/// construction — and reused across any number of Count() calls. When
+/// many graphs are counted in one go (batch mode, motif/batch.h), a
+/// BatchRunner instead constructs one short-lived engine per item on a
+/// worker of the shared pool, so each item's projection lives only while
+/// that item is being counted and builds overlap with other items'
+/// counting.
+///
+/// \par Thread safety
+/// A fully constructed MotifEngine is immutable: Count() never mutates
+/// engine state, so concurrent Count() calls on one engine are safe. All
+/// parallel execution is routed through the shared thread pool
+/// (common/parallel); no call here spawns raw threads.
+///
+/// \par Determinism
+/// For a fixed (algorithm, seed, sample count), results are bit-identical
+/// regardless of num_threads and of whether the run happened alone or
+/// inside a batch: exact counting accumulates integers (exactly
+/// representable in doubles, so merge order cannot change the sum), and
+/// the samplers derive sample n's RNG stream from the seed and n alone,
+/// never from the executing worker.
 #ifndef MOCHY_MOTIF_ENGINE_H_
 #define MOCHY_MOTIF_ENGINE_H_
 
@@ -38,7 +60,9 @@ const char* AlgorithmName(Algorithm algorithm);
 /// "mochy-a", "mochy-a+". Errors on anything else.
 Result<Algorithm> ParseAlgorithm(std::string_view name);
 
+/// Per-run knobs for MotifEngine::Count.
 struct EngineOptions {
+  /// Counting strategy; kAuto resolves per input (see ResolveAuto()).
   Algorithm algorithm = Algorithm::kAuto;
 
   /// Logical workers for counting (and projection building in Create()).
@@ -51,11 +75,15 @@ struct EngineOptions {
   /// kExact.
   uint64_t num_samples = 0;
 
-  /// Used only when num_samples == 0; must then be in (0, 1].
+  /// Used only when num_samples == 0; must then be positive and finite.
+  /// Values above 1 oversample the population, which is legal — both
+  /// samplers draw with replacement — and lowers estimator variance.
   double sampling_ratio = 0.1;
 
   /// RNG seed for the sampling algorithms; same seed, sample count and
-  /// algorithm => identical estimates, regardless of num_threads.
+  /// algorithm => bit-identical estimates, regardless of num_threads
+  /// (sample n forks its RNG stream from (seed, n), never from the worker
+  /// that happens to process it).
   uint64_t seed = 1;
 
   /// When true, also evaluates the closed-form estimator variance
@@ -80,11 +108,17 @@ struct EngineStats {
   std::string ToString() const;
 };
 
+/// Counts plus the statistics of the run that produced them.
 struct EngineResult {
+  /// Counts (exact) or unbiased estimates (sampling) per h-motif.
   MotifCounts counts;
+  /// Uniform run statistics.
   EngineStats stats;
 };
 
+/// Facade over the MoCHy counting stack: owns the projected graph of one
+/// hypergraph and executes any strategy against it. For counting many
+/// graphs in one call, see BatchRunner in motif/batch.h.
 class MotifEngine {
  public:
   /// Builds the projected graph of `graph` with `num_threads` workers
@@ -96,7 +130,9 @@ class MotifEngine {
   /// Wraps an already-built projection (must match `graph`).
   MotifEngine(const Hypergraph& graph, ProjectedGraph projection);
 
+  /// Movable (the projection is heavy; copying is deliberately disabled).
   MotifEngine(MotifEngine&&) = default;
+  /// Move-assignable.
   MotifEngine& operator=(MotifEngine&&) = default;
 
   /// Counts (kExact) or estimates (sampling strategies) all 26 h-motif
@@ -104,7 +140,9 @@ class MotifEngine {
   /// are fine, the engine state is read-only.
   Result<EngineResult> Count(const EngineOptions& options = {}) const;
 
+  /// The wrapped hypergraph.
   const Hypergraph& graph() const { return *graph_; }
+  /// The projection built for (or handed to) this engine.
   const ProjectedGraph& projection() const { return projection_; }
 
   /// The strategy kAuto resolves to for this input under `options`.

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "motif/mochy_aplus.h"
-#include "motif/mochy_e.h"
+#include "gen/perturb.h"
+#include "hypergraph/builder.h"
+#include "motif/batch.h"
 #include "random/chung_lu.h"
 
 namespace mochy {
@@ -70,40 +75,65 @@ Result<CharacteristicProfile> ComputeCharacteristicProfile(
   if (options.num_random_graphs <= 0) {
     return Status::InvalidArgument("need at least one random graph");
   }
-  CharacteristicProfile out;
 
-  auto count = [&](const Hypergraph& g) -> Result<MotifCounts> {
-    auto projection = ProjectedGraph::Build(g, options.num_threads);
-    if (!projection.ok()) return projection.status();
-    if (options.sample_ratio < 0.0) {
-      return CountMotifsExact(g, projection.value(), options.num_threads);
+  // The same counting options for every graph in the batch. The seed
+  // derivations match the pre-batch pipeline, so profiles stay
+  // reproducible across versions.
+  EngineOptions count_options;
+  if (options.sample_ratio < 0.0) {
+    count_options.algorithm = Algorithm::kExact;
+  } else {
+    count_options.algorithm = Algorithm::kLinkSample;
+    count_options.sampling_ratio = options.sample_ratio;
+    count_options.seed = options.seed ^ 0x5bd1e995u;
+  }
+
+  BatchOptions batch_options;
+  batch_options.num_threads = options.num_threads;
+  BatchRunner runner(batch_options);
+  runner.Add(graph, count_options, "real");
+  for (int i = 0; i < options.num_random_graphs; ++i) {
+    const uint64_t null_seed =
+        options.seed + 0x9e3779b9u * static_cast<uint64_t>(i + 1);
+    std::function<Result<Hypergraph>()> make;
+    if (options.null_model == NullModel::kChungLu) {
+      ChungLuOptions cl;
+      cl.seed = null_seed;
+      make = [&graph, cl]() { return GenerateChungLu(graph, cl); };
+    } else {
+      PerturbOptions perturb;
+      perturb.seed = null_seed;
+      perturb.replace_fraction = options.perturb_fraction;
+      make = [&graph, perturb]() -> Result<Hypergraph> {
+        MOCHY_ASSIGN_OR_RETURN(std::vector<std::vector<NodeId>> edges,
+                               MakeFakeHyperedges(graph, perturb));
+        BuildOptions build;
+        build.dedup_edges = false;  // keep |E| fixed, like the Chung-Lu null
+        build.num_nodes = graph.num_nodes();
+        return MakeHypergraph(edges, build);
+      };
     }
-    MochyAPlusOptions approx;
-    approx.num_samples = std::max<uint64_t>(
-        1, static_cast<uint64_t>(options.sample_ratio *
-                                 static_cast<double>(
-                                     projection.value().num_wedges())));
-    approx.seed = options.seed ^ 0x5bd1e995u;
-    approx.num_threads = options.num_threads;
-    return CountMotifsWedgeSample(g, projection.value(), approx);
-  };
+    runner.AddGenerated(std::move(make), count_options,
+                        "null-" + std::to_string(i));
+  }
 
-  MOCHY_ASSIGN_OR_RETURN(out.real_counts, count(graph));
+  const BatchResult batch = runner.Run();
+  MOCHY_RETURN_IF_ERROR(batch.first_error());
 
+  CharacteristicProfile out;
+  out.real_counts = batch.items[0].counts;
   std::vector<MotifCounts> random_counts;
   random_counts.reserve(options.num_random_graphs);
-  for (int i = 0; i < options.num_random_graphs; ++i) {
-    ChungLuOptions cl;
-    cl.seed = options.seed + 0x9e3779b9u * static_cast<uint64_t>(i + 1);
-    MOCHY_ASSIGN_OR_RETURN(Hypergraph random_graph,
-                           GenerateChungLu(graph, cl));
-    MOCHY_ASSIGN_OR_RETURN(MotifCounts counts, count(random_graph));
-    random_counts.push_back(counts);
+  for (size_t i = 1; i < batch.items.size(); ++i) {
+    random_counts.push_back(batch.items[i].counts);
   }
   out.random_mean = MotifCounts::Mean(random_counts);
   out.delta =
       ComputeSignificance(out.real_counts, out.random_mean, options.epsilon);
   out.cp = NormalizeProfile(out.delta);
+  out.relative_counts = RelativeCounts(out.real_counts, out.random_mean);
+  out.rank_difference = RankDifference(out.real_counts, out.random_mean);
+  out.batch = batch.stats;
   return out;
 }
 

@@ -1,5 +1,21 @@
-// Motif significance Δt (Eq. 1) and the characteristic profile CP (Eq. 2),
-// plus the Table 3 derived quantities (relative counts, rank differences).
+/// \file
+/// Motif significance Δt (Eq. 1) and the characteristic profile CP
+/// (Eq. 2), plus the Table 3 derived quantities (relative counts, rank
+/// differences) and the end-to-end CP pipeline, which batch-counts the
+/// real hypergraph together with its null-model randomizations on one
+/// shared thread pool (motif/batch.h).
+///
+/// \par Thread safety
+/// Every function here is a pure function of its arguments and safe to
+/// call concurrently. ComputeCharacteristicProfile fans out over the
+/// shared pool internally.
+///
+/// \par Determinism
+/// For a fixed CharacteristicProfileOptions::seed the pipeline is fully
+/// deterministic — the null graphs, all counts/estimates and therefore Δ,
+/// CP, relative counts and rank differences are bit-identical run to run,
+/// regardless of num_threads (see motif/engine.h for why counting is
+/// thread-count-invariant).
 #ifndef MOCHY_PROFILE_SIGNIFICANCE_H_
 #define MOCHY_PROFILE_SIGNIFICANCE_H_
 
@@ -9,6 +25,7 @@
 
 #include "common/status.h"
 #include "hypergraph/hypergraph.h"
+#include "motif/batch.h"
 #include "motif/counts.h"
 
 namespace mochy {
@@ -39,26 +56,64 @@ std::array<int, kNumHMotifs> RankByCount(const MotifCounts& counts);
 std::array<int, kNumHMotifs> RankDifference(const MotifCounts& real,
                                             const MotifCounts& random_mean);
 
+/// Null model the randomized comparison graphs are drawn from.
+enum class NullModel {
+  /// Degree-preserving bipartite Chung-Lu randomization (paper
+  /// Section 2.3) — the paper's null model and the default.
+  kChungLu,
+  /// Per-edge member perturbation (gen/perturb.h): each hyperedge keeps
+  /// its size but a fraction of members is replaced by random nodes. A
+  /// harsher null that destroys overlap structure while keeping the
+  /// edge-size multiset exactly.
+  kPerturb,
+};
+
+/// Knobs for the end-to-end characteristic-profile pipeline.
 struct CharacteristicProfileOptions {
-  int num_random_graphs = 5;     ///< null-model samples averaged (paper: 5)
+  /// Null-model samples averaged into Mrand (paper: 5).
+  int num_random_graphs = 5;
+  /// Master seed: null-graph seeds and sampling seeds derive from it.
   uint64_t seed = 1;
-  size_t num_threads = 1;
+  /// Worker budget for the whole pipeline (real + null graphs are batched
+  /// on the shared pool); 0 means DefaultThreadCount().
+  size_t num_threads = 0;
+  /// Eq. 1 smoothing term.
   double epsilon = 1.0;
-  /// < 0 means exact counting (MoCHy-E); otherwise MoCHy-A+ with
-  /// r = sample_ratio * |∧| wedge samples.
+  /// < 0 (default) means exact counting (MoCHy-E); otherwise must be
+  /// positive: MoCHy-A+ with r = sample_ratio * |∧| hyperwedge samples
+  /// per graph (> 1 oversamples, which is legal with replacement).
   double sample_ratio = -1.0;
+  /// Which randomization the null graphs come from.
+  NullModel null_model = NullModel::kChungLu;
+  /// Fraction of members replaced per edge when null_model is kPerturb.
+  double perturb_fraction = 0.5;
 };
 
+/// Everything the CP pipeline produces in one call.
 struct CharacteristicProfile {
+  /// Counts (or estimates) of the input hypergraph.
   MotifCounts real_counts;
+  /// Mean counts over the null-model randomizations.
   MotifCounts random_mean;
-  ProfileVector delta;  ///< significance
-  ProfileVector cp;     ///< normalized significance
+  /// Significance Δ (Eq. 1).
+  ProfileVector delta{};
+  /// Normalized significance CP (Eq. 2).
+  ProfileVector cp{};
+  /// Table 3 "RC": relative counts real vs. null mean.
+  ProfileVector relative_counts{};
+  /// Table 3 "RD": |rank difference| real vs. null mean.
+  std::array<int, kNumHMotifs> rank_difference{};
+  /// Aggregate statistics of the underlying batch run (elapsed, busy
+  /// time, pool utilization, per-item failures — always 0 here since any
+  /// failure aborts the pipeline).
+  BatchStats batch;
 };
 
-/// End-to-end pipeline: count motifs in `graph` and in
-/// `options.num_random_graphs` Chung-Lu randomizations, then compute Δ and
-/// CP. This is the computation behind Figures 1, 5 and 9.
+/// End-to-end pipeline behind Figures 1, 5 and 9 and Table 3: generates
+/// `options.num_random_graphs` Chung-Lu null graphs, batch-counts them
+/// together with `graph` in a single BatchRunner pass (generation and
+/// projection builds overlap with counting), and derives Δ, CP, relative
+/// counts and rank differences.
 Result<CharacteristicProfile> ComputeCharacteristicProfile(
     const Hypergraph& graph, const CharacteristicProfileOptions& options = {});
 

@@ -1,6 +1,12 @@
-// Profile similarity (Figure 6): Pearson correlation between
-// characteristic profiles, the full similarity matrix over datasets, and
-// the within-domain vs. across-domain separation gap.
+/// \file
+/// Profile similarity (Figure 6): Pearson correlation between
+/// characteristic profiles, the full similarity matrix over datasets, and
+/// the within-domain vs. across-domain separation gap.
+///
+/// \par Thread safety
+/// Everything here is a pure function of its arguments — no global state,
+/// no internal parallelism — so concurrent calls are safe and results are
+/// deterministic for identical inputs.
 #ifndef MOCHY_PROFILE_SIMILARITY_H_
 #define MOCHY_PROFILE_SIMILARITY_H_
 
@@ -21,6 +27,7 @@ double PearsonCorrelation(const std::vector<double>& a,
 Result<std::vector<std::vector<double>>> CorrelationMatrix(
     const std::vector<std::vector<double>>& profiles);
 
+/// Within-domain vs. across-domain aggregation of a similarity matrix.
 struct DomainSeparation {
   double within_mean = 0.0;   ///< mean correlation, same-domain pairs
   double across_mean = 0.0;   ///< mean correlation, cross-domain pairs

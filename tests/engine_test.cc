@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "hypergraph/builder.h"
 #include "motif/mochy_e.h"
@@ -40,8 +41,14 @@ TEST(MotifEngineTest, RejectsInvalidSamplingRatio) {
   options.algorithm = Algorithm::kLinkSample;
   options.sampling_ratio = 0.0;
   EXPECT_FALSE(engine.Count(options).ok());
-  options.sampling_ratio = 1.5;
+  options.sampling_ratio = -0.5;
   EXPECT_FALSE(engine.Count(options).ok());
+  options.sampling_ratio = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(engine.Count(options).ok());
+  // Oversampling (> 1) is legal: both samplers draw with replacement.
+  options.sampling_ratio = 1.5;
+  EXPECT_TRUE(engine.Count(options).ok());
+  options.sampling_ratio = 0.0;
   options.num_samples = 10;  // explicit sample count bypasses the ratio
   EXPECT_TRUE(engine.Count(options).ok());
   // Exact counting ignores the sampling knobs entirely.

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links point at files that exist.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+External links (http/https/mailto) are not fetched — CI must not depend
+on network reachability — but every relative target, with any #anchor
+stripped, must resolve against the linking file's directory. Exits 1
+listing each broken link.
+"""
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — ignores images' leading ! since the path rule is the
+# same, and skips in-page anchors like (#section).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            errors.append(f"{path}:{line}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(argv) - 1} file(s): all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
