@@ -1,0 +1,346 @@
+// Reproducible perf harness for the MoCHy hot paths: runs the production
+// stamp-array kernels AND the retained pre-stamp baselines
+// (motif/reference.h) for E/A/A+ on the example graphs and writes one
+// machine-readable BENCH_*.json — wall time (min over repeats), hubs/s,
+// samples/s, per-kernel timers and stamped-vs-reference speedups — so
+// every PR leaves a measured trajectory behind. Counts from both kernel
+// generations are compared bit-for-bit in-run; a mismatch fails the
+// harness.
+//
+// Driven by tools/run_bench.py (which also owns the CI smoke-regression
+// check); run it directly for ad-hoc measurements:
+//
+//   bench_report --out BENCH_pr3.json --scale 1.0 --threads 1 --repeat 3
+//   bench_report --smoke --out BENCH_smoke.json
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "hypergraph/projection.h"
+#include "motif/counts.h"
+#include "motif/mochy_a.h"
+#include "motif/mochy_aplus.h"
+#include "motif/mochy_e.h"
+#include "motif/reference.h"
+
+namespace mochy::bench {
+namespace {
+
+struct Config {
+  std::string out = "BENCH_report.json";
+  std::string tag = "report";
+  // scale/repeat <= 0 mean "not set on the command line"; resolved after
+  // parsing so --smoke provides defaults without clobbering explicit
+  // flags.
+  double scale = 0.0;
+  size_t threads = 1;
+  int repeat = 0;
+  bool smoke = false;
+  double sample_ratio = 0.1;
+  // Sampler budget cap: on dense domains the projection is near-complete
+  // and 0.1·|∧| would be millions of samples; the throughput metric does
+  // not need that many.
+  uint64_t max_samples = 50'000;
+  // Sampler budget floor: the smoke gate needs every measured kernel in
+  // the multi-millisecond range, above shared-runner timer jitter.
+  uint64_t min_samples = 1;
+};
+
+struct KernelRow {
+  std::string kernel;       // e.g. "mochy-e/stamped"
+  size_t threads = 1;
+  double wall_s = 0.0;      // min over repeats
+  uint64_t samples = 0;     // 0 for exact kernels
+  double hubs_per_s = 0.0;  // exact kernels: hubs (= |E|) per second
+  double samples_per_s = 0.0;
+};
+
+struct GraphReport {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  uint64_t pins = 0;
+  uint64_t wedges = 0;
+  double projection_s = 0.0;
+  std::vector<KernelRow> kernels;
+  double exact_speedup = 0.0;  // reference wall / stamped wall, 0 if absent
+};
+
+/// Minimum wall time of `fn` over `repeat` runs; the first run's result is
+/// kept for the bit-identity check.
+template <typename Fn>
+double MinWall(int repeat, MotifCounts* out, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    Timer timer;
+    MotifCounts counts = fn();
+    const double elapsed = timer.Seconds();
+    if (r == 0) {
+      if (out != nullptr) *out = counts;
+      best = elapsed;
+    } else {
+      best = std::min(best, elapsed);
+    }
+  }
+  return best;
+}
+
+bool BitIdentical(const MotifCounts& a, const MotifCounts& b) {
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    if (a[t] != b[t]) return false;
+  }
+  return true;
+}
+
+GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
+                         const Config& config) {
+  std::fprintf(stderr, "measuring %s (|E|=%zu)...\n", name.c_str(),
+               graph.num_edges());
+  GraphReport report;
+  report.name = name;
+  report.nodes = graph.num_nodes();
+  report.edges = graph.num_edges();
+  report.pins = graph.num_pins();
+
+  Timer projection_timer;
+  const ProjectedGraph projection =
+      ProjectedGraph::Build(graph, config.threads).value();
+  report.projection_s = projection_timer.Seconds();
+  report.wedges = projection.num_wedges();
+
+  const double m = static_cast<double>(graph.num_edges());
+  auto add_exact = [&](const char* kernel, MotifCounts* counts, auto&& fn) {
+    KernelRow row;
+    row.kernel = kernel;
+    row.threads = config.threads;
+    row.wall_s = MinWall(config.repeat, counts, fn);
+    row.hubs_per_s = row.wall_s > 0.0 ? m / row.wall_s : 0.0;
+    report.kernels.push_back(row);
+    return row.wall_s;
+  };
+  auto add_sampler = [&](const char* kernel, uint64_t samples,
+                         MotifCounts* counts, auto&& fn) {
+    KernelRow row;
+    row.kernel = kernel;
+    row.threads = config.threads;
+    row.samples = samples;
+    row.wall_s = MinWall(config.repeat, counts, fn);
+    row.samples_per_s =
+        row.wall_s > 0.0 ? static_cast<double>(samples) / row.wall_s : 0.0;
+    report.kernels.push_back(row);
+  };
+
+  MotifCounts exact_stamped, exact_reference;
+  const double stamped_wall =
+      add_exact("mochy-e/stamped", &exact_stamped, [&] {
+        return CountMotifsExact(graph, projection, config.threads);
+      });
+  const double reference_wall =
+      add_exact("mochy-e/reference", &exact_reference, [&] {
+        return reference::CountMotifsExact(graph, projection, config.threads);
+      });
+  if (!BitIdentical(exact_stamped, exact_reference)) {
+    std::fprintf(stderr, "FATAL: %s: stamped exact counts diverge from the "
+                         "reference kernel\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  if (stamped_wall > 0.0) {
+    report.exact_speedup = reference_wall / stamped_wall;
+  }
+
+  MochyAOptions a;
+  a.num_samples = std::clamp(
+      static_cast<uint64_t>(config.sample_ratio * m), config.min_samples,
+      config.max_samples);
+  a.num_threads = config.threads;
+  MotifCounts a_stamped, a_reference;
+  add_sampler("mochy-a/stamped", a.num_samples, &a_stamped, [&] {
+    return CountMotifsEdgeSample(graph, projection, a);
+  });
+  add_sampler("mochy-a/reference", a.num_samples, &a_reference, [&] {
+    return reference::CountMotifsEdgeSample(graph, projection, a);
+  });
+  if (!BitIdentical(a_stamped, a_reference)) {
+    std::fprintf(stderr, "FATAL: %s: stamped MoCHy-A diverges from the "
+                         "reference kernel\n",
+                 name.c_str());
+    std::exit(1);
+  }
+
+  MochyAPlusOptions aplus;
+  aplus.num_samples = std::clamp(
+      static_cast<uint64_t>(config.sample_ratio *
+                            static_cast<double>(projection.num_wedges())),
+      config.min_samples, config.max_samples);
+  aplus.num_threads = config.threads;
+  MotifCounts aplus_stamped, aplus_reference;
+  add_sampler("mochy-a+/stamped", aplus.num_samples, &aplus_stamped, [&] {
+    return CountMotifsWedgeSample(graph, projection, aplus);
+  });
+  add_sampler("mochy-a+/reference", aplus.num_samples, &aplus_reference, [&] {
+    return reference::CountMotifsWedgeSample(graph, projection, aplus);
+  });
+  if (!BitIdentical(aplus_stamped, aplus_reference)) {
+    std::fprintf(stderr, "FATAL: %s: stamped MoCHy-A+ diverges from the "
+                         "reference kernel\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return report;
+}
+
+void WriteJson(const Config& config, const std::vector<GraphReport>& graphs) {
+  FILE* out = std::fopen(config.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s for writing\n",
+                 config.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"mochy-bench-v1\",\n");
+  std::fprintf(out, "  \"tag\": \"%s\",\n", config.tag.c_str());
+  std::fprintf(out,
+               "  \"config\": {\"scale\": %g, \"threads\": %zu, "
+               "\"repeat\": %d, \"smoke\": %s, \"sample_ratio\": %g, "
+               "\"max_samples\": %llu},\n",
+               config.scale, config.threads, config.repeat,
+               config.smoke ? "true" : "false", config.sample_ratio,
+               static_cast<unsigned long long>(config.max_samples));
+  std::fprintf(out, "  \"host\": {\"hardware_threads\": %zu, \"ndebug\": %s},\n",
+               DefaultThreadCount(),
+#ifdef NDEBUG
+               "true"
+#else
+               "false"
+#endif
+  );
+  std::fprintf(out, "  \"graphs\": [\n");
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    const GraphReport& report = graphs[g];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"name\": \"%s\",\n", report.name.c_str());
+    std::fprintf(out,
+                 "      \"nodes\": %zu, \"edges\": %zu, \"pins\": %llu, "
+                 "\"wedges\": %llu,\n",
+                 report.nodes, report.edges,
+                 static_cast<unsigned long long>(report.pins),
+                 static_cast<unsigned long long>(report.wedges));
+    std::fprintf(out, "      \"timers\": {\"projection_s\": %.6f},\n",
+                 report.projection_s);
+    std::fprintf(out, "      \"exact_speedup_vs_reference\": %.3f,\n",
+                 report.exact_speedup);
+    std::fprintf(out, "      \"kernels\": [\n");
+    for (size_t k = 0; k < report.kernels.size(); ++k) {
+      const KernelRow& row = report.kernels[k];
+      std::fprintf(out,
+                   "        {\"kernel\": \"%s\", \"threads\": %zu, "
+                   "\"wall_s\": %.6f, \"samples\": %llu, "
+                   "\"hubs_per_s\": %.1f, \"samples_per_s\": %.1f}%s\n",
+                   row.kernel.c_str(), row.threads, row.wall_s,
+                   static_cast<unsigned long long>(row.samples),
+                   row.hubs_per_s, row.samples_per_s,
+                   k + 1 < report.kernels.size() ? "," : "");
+    }
+    std::fprintf(out, "      ]\n");
+    std::fprintf(out, "    }%s\n", g + 1 < graphs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "FATAL: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      config.out = next("--out");
+    } else if (arg == "--tag") {
+      config.tag = next("--tag");
+      // The tag is emitted into JSON unescaped; keep it trivially safe.
+      for (const char c : config.tag) {
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+            c != '_' && c != '.') {
+          std::fprintf(stderr,
+                       "FATAL: --tag must match [A-Za-z0-9._-]+, got '%s'\n",
+                       config.tag.c_str());
+          return 2;
+        }
+      }
+    } else if (arg == "--scale") {
+      config.scale = std::atof(next("--scale"));
+    } else if (arg == "--threads") {
+      config.threads = static_cast<size_t>(std::atoi(next("--threads")));
+    } else if (arg == "--repeat") {
+      config.repeat = std::max(1, std::atoi(next("--repeat")));
+    } else if (arg == "--smoke") {
+      config.smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--out FILE] [--tag NAME] "
+                   "[--scale S] [--threads N] [--repeat R] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    // One small graph: the CI perf-smoke payload. Defaults (explicit
+    // --scale/--repeat flags win) are sized so every measured kernel
+    // takes multiple milliseconds — large enough that the >25%
+    // regression gate measures the kernel, not timer jitter; the sample
+    // floor pulls the (otherwise sub-ms) sampler kernels up too.
+    if (config.scale <= 0.0) config.scale = 0.2;
+    if (config.repeat <= 0) config.repeat = 5;
+    config.min_samples = 5000;
+    if (config.tag == "report") config.tag = "smoke";
+  } else {
+    if (config.scale <= 0.0) config.scale = 1.0;
+    if (config.repeat <= 0) config.repeat = 3;
+  }
+
+  std::vector<GraphReport> reports;
+  if (config.smoke) {
+    GeneratorConfig gen = DefaultConfig(Domain::kCoauthorship, config.scale);
+    gen.seed = 3;
+    reports.push_back(MeasureGraph(
+        "coauth-smoke", GenerateDomainHypergraph(gen).value(), config));
+  } else {
+    for (const Domain domain :
+         {Domain::kCoauthorship, Domain::kContact, Domain::kEmail,
+          Domain::kTags, Domain::kThreads}) {
+      GeneratorConfig gen = DefaultConfig(domain, config.scale);
+      gen.seed = 3;
+      reports.push_back(MeasureGraph(
+          DomainName(domain), GenerateDomainHypergraph(gen).value(), config));
+    }
+  }
+
+  WriteJson(config, reports);
+  for (const GraphReport& report : reports) {
+    std::printf("%-10s |E|=%-6zu wedges=%-8llu exact speedup %.2fx\n",
+                report.name.c_str(), report.edges,
+                static_cast<unsigned long long>(report.wedges),
+                report.exact_speedup);
+  }
+  std::printf("wrote %s\n", config.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mochy::bench
+
+int main(int argc, char** argv) { return mochy::bench::Main(argc, argv); }

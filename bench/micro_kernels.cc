@@ -5,17 +5,22 @@
 // null model, and the ESU census.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <unordered_map>
 
 #include "baseline/bipartite.h"
 #include "baseline/graphlet.h"
 #include "common/flat_map.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/scratch_arena.h"
 #include "gen/generators.h"
 #include "hypergraph/projection.h"
 #include "motif/mochy_aplus.h"
 #include "motif/mochy_e.h"
 #include "motif/pattern.h"
+#include "motif/reference.h"
+#include "motif/stamp_kernels.h"
 #include "random/chung_lu.h"
 
 namespace {
@@ -156,6 +161,96 @@ void BM_PairWeightUnorderedMap(benchmark::State& state) {
 }
 BENCHMARK(BM_PairWeightUnorderedMap);
 
+// Stamp-array pair-weight lookup as the MoCHy-E inner loop performs it:
+// scatter one neighborhood into the epoch-stamped array, then probe. The
+// scatter is amortized over the probes of the pair loop; compare against
+// BM_PairWeightFlatMap / BinarySearch / UnorderedMap above.
+void BM_PairWeightStampArray(benchmark::State& state) {
+  const ProjectedGraph& projection = TestProjection();
+  const size_t m = projection.num_edges();
+  StampedWeights weights;
+  weights.EnsureSize(m);
+  Rng rng(3);
+  int64_t probes = 0;
+  for (auto _ : state) {
+    const EdgeId a = static_cast<EdgeId>(rng.UniformInt(m));
+    weights.NewEpoch();
+    for (const Neighbor& n : projection.neighbors(a)) {
+      weights.Set(n.edge, n.weight);
+    }
+    // Probe the pattern of a pair loop: another edge's neighbor ids.
+    const EdgeId b = static_cast<EdgeId>(rng.UniformInt(m));
+    uint64_t sum = 0;
+    for (const Neighbor& n : projection.neighbors(b)) {
+      sum += weights.Get(n.edge);
+      ++probes;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(probes);
+}
+BENCHMARK(BM_PairWeightStampArray);
+
+void BM_TripleIntersectionStamped(benchmark::State& state) {
+  const Hypergraph& graph = TestGraph();
+  ScratchArena arena;
+  arena.EnsureNodes(graph.num_nodes());
+  Rng rng(2);
+  const size_t m = graph.num_edges();
+  for (auto _ : state) {
+    const EdgeId a = static_cast<EdgeId>(rng.UniformInt(m));
+    const EdgeId b = static_cast<EdgeId>(rng.UniformInt(m));
+    const EdgeId c = static_cast<EdgeId>(rng.UniformInt(m));
+    internal::StampHubNodes(graph, a, arena);
+    internal::StampPairNodes(graph, b, arena);
+    benchmark::DoNotOptimize(
+        internal::StampedTripleIntersection(graph, c, arena));
+  }
+}
+BENCHMARK(BM_TripleIntersectionStamped);
+
+// Ablation: claiming overhead of the hub scheduler. Per-hub: one atomic
+// fetch_add per item (the pre-PR3 design). Chunked: one fetch_add per
+// Σd²-balanced chunk (WorkChunkBoundaries). The loop body is deliberately
+// tiny so the claim cost dominates.
+void BM_HubClaimPerHub(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  for (auto _ : state) {
+    std::atomic<size_t> next{0};
+    uint64_t sum = 0;
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      sum += i;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HubClaimPerHub);
+
+void BM_HubClaimChunked(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  // Skewed per-item work estimates, as projected degrees are.
+  std::vector<uint64_t> cost(n);
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) cost[i] = 1 + (rng.UniformInt(64) == 0 ? 640 : rng.UniformInt(8));
+  const std::vector<size_t> chunks = WorkChunkBoundaries(cost, 64);
+  const size_t num_chunks = chunks.size() - 1;
+  for (auto _ : state) {
+    std::atomic<size_t> next{0};
+    uint64_t sum = 0;
+    while (true) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      for (size_t i = chunks[c]; i < chunks[c + 1]; ++i) sum += i;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HubClaimChunked);
+
 void BM_MochyExact(benchmark::State& state) {
   const Hypergraph& graph = TestGraph();
   const ProjectedGraph& projection = TestProjection();
@@ -165,6 +260,18 @@ void BM_MochyExact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MochyExact)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The retained pre-stamp kernel (motif/reference.h) on the same input, so
+// the stamp-array win is measurable end-to-end in isolation.
+void BM_MochyExactReference(benchmark::State& state) {
+  const Hypergraph& graph = TestGraph();
+  const ProjectedGraph& projection = TestProjection();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::CountMotifsExact(
+        graph, projection, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MochyExactReference)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_MochyAPlusSampling(benchmark::State& state) {
   const Hypergraph& graph = TestGraph();

@@ -1,5 +1,6 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -91,6 +92,56 @@ void ParallelBlocks(
     const size_t begin = t * base + (t < extra ? t : extra);
     const size_t end = begin + base + (t < extra ? 1 : 0);
     fn(t, begin, end);
+  });
+}
+
+std::vector<size_t> WorkChunkBoundaries(std::span<const uint64_t> cost,
+                                        size_t num_chunks) {
+  const size_t n = cost.size();
+  std::vector<size_t> boundaries;
+  boundaries.push_back(0);
+  if (n == 0) return boundaries;
+  if (num_chunks == 0) num_chunks = 1;
+
+  uint64_t total = 0;
+  for (const uint64_t c : cost) total += c;
+  // Zero-cost items still take a claim to skip; charge them one unit so a
+  // long all-zero tail cannot collapse into a single serial chunk. The
+  // n/num_chunks floor keeps the chunk count near num_chunks even when
+  // most items are zero-cost (otherwise target would collapse to 1 and
+  // every item would close its own chunk — per-item claiming again).
+  const uint64_t target =
+      std::max((total + num_chunks - 1) / num_chunks,
+               (static_cast<uint64_t>(n) + num_chunks - 1) / num_chunks);
+  const uint64_t effective_target = target == 0 ? 1 : target;
+
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += cost[i] == 0 ? 1 : cost[i];
+    if (acc >= effective_target) {
+      boundaries.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  if (boundaries.back() != n) boundaries.push_back(n);
+  return boundaries;
+}
+
+void ParallelWorkChunks(
+    std::span<const uint64_t> cost, size_t num_workers,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn) {
+  if (num_workers == 0) num_workers = 1;
+  // ~16 claims per worker: fine enough that no worker idles behind a
+  // straggler chunk, coarse enough that claiming vanishes from profiles.
+  const std::vector<size_t> chunks = WorkChunkBoundaries(cost, num_workers * 16);
+  const size_t num_chunks = chunks.size() - 1;
+  std::atomic<size_t> next_chunk{0};
+  ParallelWorkers(num_workers, [&](size_t worker) {
+    while (true) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      fn(worker, chunks[c], chunks[c + 1]);
+    }
   });
 }
 

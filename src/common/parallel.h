@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -47,6 +48,28 @@ void ParallelBlocks(
 void ParallelFor(size_t n, size_t num_workers,
                  const std::function<void(size_t i)>& fn,
                  size_t chunk = 64);
+
+/// Splits [0, cost.size()) into about `num_chunks` contiguous ranges of
+/// roughly equal summed cost. Returns the boundaries b_0=0 < ... < b_k=n;
+/// chunk c is [b_c, b_c+1). Workers then claim whole chunks with one
+/// atomic increment each instead of one per item, which removes the
+/// claiming overhead from skewed per-item-cost loops (the MoCHy-E hub loop
+/// claims by Σd² work here) while keeping load balance: every chunk holds
+/// at most ~total/num_chunks cost plus one item. Items with huge
+/// individual cost get a chunk of their own. Always returns at least {0, n}
+/// (n > 0), or {0} for an empty range.
+std::vector<size_t> WorkChunkBoundaries(std::span<const uint64_t> cost,
+                                        size_t num_chunks);
+
+/// Runs fn(worker, begin, end) over cost-balanced chunks of
+/// [0, cost.size()): boundaries from WorkChunkBoundaries with ~16 chunks
+/// per worker, workers claiming whole chunks with one atomic increment
+/// each. The chunked-claiming counterpart of ParallelFor for loops whose
+/// per-item cost is known up front (e.g. the MoCHy-E hub loop, cost
+/// |N_e|²). Blocking call; num_workers 0 means 1.
+void ParallelWorkChunks(
+    std::span<const uint64_t> cost, size_t num_workers,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn);
 
 }  // namespace mochy
 

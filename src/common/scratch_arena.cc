@@ -1,0 +1,13 @@
+#include "common/scratch_arena.h"
+
+namespace mochy {
+
+ScratchArena& LocalScratchArena() {
+  // One arena per OS thread. The shared pool's workers are leaked with the
+  // pool (common/parallel.cc), so their arenas persist — and stay warm —
+  // across every parallel region of the process lifetime.
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace mochy

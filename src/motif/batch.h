@@ -20,6 +20,12 @@
 /// A BatchRunner is not thread-safe; build and Run() it from one thread.
 /// Run() itself fans out over the shared pool internally and may be called
 /// repeatedly (items are retained).
+///
+/// \par Scratch reuse
+/// The counting kernels take their scratch from per-thread arenas
+/// (common/scratch_arena.h) that live as long as the pool workers, so
+/// consecutive batch items on one worker reuse the same stamp arrays —
+/// no per-item scratch allocation, only an O(1) epoch bump.
 #ifndef MOCHY_MOTIF_BATCH_H_
 #define MOCHY_MOTIF_BATCH_H_
 

@@ -21,7 +21,11 @@
 /// A fully constructed MotifEngine is immutable: Count() never mutates
 /// engine state, so concurrent Count() calls on one engine are safe. All
 /// parallel execution is routed through the shared thread pool
-/// (common/parallel); no call here spawns raw threads.
+/// (common/parallel); no call here spawns raw threads. The counting
+/// kernels draw their scratch (epoch-stamped weight arrays and node sets,
+/// common/scratch_arena.h) from each worker's persistent thread-local
+/// arena, so repeated Count() calls and batch items reuse grown-to-fit
+/// allocations instead of reallocating per run.
 ///
 /// \par Determinism
 /// For a fixed (algorithm, seed, sample count), results are bit-identical

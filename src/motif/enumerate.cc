@@ -1,11 +1,12 @@
 #include "motif/enumerate.h"
 
 #include <algorithm>
-#include <atomic>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "motif/pattern.h"
+#include "motif/stamp_kernels.h"
 
 namespace mochy {
 
@@ -53,18 +54,18 @@ void EnumerateInstancesParallel(
     size_t num_threads,
     const std::function<void(size_t thread, const MotifInstance&)>& fn) {
   MOCHY_CHECK(projection.num_edges() == graph.num_edges());
-  if (num_threads == 0) num_threads = 1;
-  const size_t m = graph.num_edges();
-  std::atomic<size_t> next_hub{0};
-  auto worker = [&](size_t thread) {
-    while (true) {
-      const size_t i = next_hub.fetch_add(1, std::memory_order_relaxed);
-      if (i >= m) return;
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  // Same Σd²-chunked claiming as the exact counter: per-hub work is
+  // ~|N_e|², so chunks of near-equal estimated work keep both the claiming
+  // overhead and the straggler tail small.
+  const std::vector<uint64_t> cost = internal::HubWorkEstimate(projection);
+  ParallelWorkChunks(cost, num_threads,
+                     [&](size_t thread, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
       EnumerateFromHub(graph, projection, static_cast<EdgeId>(i),
                        [&](const MotifInstance& inst) { fn(thread, inst); });
     }
-  };
-  ParallelWorkers(num_threads, worker);
+  });
 }
 
 std::vector<MotifInstance> CollectInstances(const Hypergraph& graph,

@@ -31,6 +31,7 @@ void EnumerateInstances(const Hypergraph& graph,
 
 /// Parallel enumeration: `fn(thread, instance)` may be called concurrently
 /// from different threads; instances are still visited exactly once.
+/// `num_threads` 0 means DefaultThreadCount().
 void EnumerateInstancesParallel(
     const Hypergraph& graph, const ProjectedGraph& projection,
     size_t num_threads,

@@ -5,52 +5,72 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/scratch_arena.h"
+#include "motif/stamp_kernels.h"
 
 namespace mochy {
 
 namespace {
 
 /// Processes one sampled hyperedge e_i: visits every h-motif instance that
-/// contains e_i and increments raw counts. `stamp` is an |E|-sized scratch
-/// with stamp[e] = omega(e_i, e) for e in N(e_i), 0 elsewhere.
+/// contains e_i and increments raw counts. arena.edge_weight2 holds
+/// w(e_i, ·) for the whole call; arena.edge_weight is re-stamped per e_j.
 void ProcessSampledEdge(const Hypergraph& graph,
                         const ProjectedGraph& projection, EdgeId ei,
-                        std::vector<uint32_t>& stamp, MotifCounts& raw) {
+                        const uint32_t* size_of, ScratchArena& arena,
+                        MotifCounts& raw) {
   const auto nbrs = projection.neighbors(ei);
-  for (const Neighbor& n : nbrs) stamp[n.edge] = n.weight;
-  const uint64_t size_i = graph.edge_size(ei);
+  StampedWeights& w_i = arena.edge_weight2;  // w(e_i, ·) over N(e_i)
+  StampedWeights& w_j = arena.edge_weight;   // w(e_j, ·), re-stamped per e_j
+  w_i.NewEpoch();
+  for (const Neighbor& n : nbrs) w_i.Set(n.edge, n.weight);
+  internal::StampHubNodes(graph, ei, arena);
+  const uint64_t size_i = size_of[ei];
 
   for (size_t a = 0; a < nbrs.size(); ++a) {
     const EdgeId ej = nbrs[a].edge;
     const uint64_t w_ij = nbrs[a].weight;
-    const uint64_t size_j = graph.edge_size(ej);
+    const uint64_t size_j = size_of[ej];
+    bool pair_ready = false;
+
+    // One pass over N(e_j) replaces the old per-pair hash probes: members
+    // also adjacent to e_i stamp w_jk for the pair loop below, the rest
+    // are Case-2 instances — e_k disjoint from e_i, an open instance with
+    // hub e_j — classified on the spot.
+    w_j.NewEpoch();
+    for (const Neighbor& nj : projection.neighbors(ej)) {
+      const EdgeId ek = nj.edge;
+      if (ek == ei) continue;
+      if (w_i.Get(ek) != 0) {  // in N(e_i): handled by the pair loop
+        w_j.Set(ek, nj.weight);
+        continue;
+      }
+      const int id = ClassifyMotifOrZero(size_i, size_j, size_of[ek], w_ij,
+                                         /*w_jk=*/nj.weight, /*w_ik=*/0,
+                                         /*w_ijk=*/0);
+      if (id != 0) raw[id] += 1.0;
+    }
     // Case 1: e_k also a neighbor of e_i. Enumerate unordered pairs once
     // (j < k by position, Algorithm 4 line 6).
     for (size_t b = a + 1; b < nbrs.size(); ++b) {
       const EdgeId ek = nbrs[b].edge;
       const uint64_t w_ik = nbrs[b].weight;
-      const uint64_t size_k = graph.edge_size(ek);
-      const uint64_t w_jk = projection.Weight(ej, ek);
-      const uint64_t w_ijk =
-          w_jk == 0 ? 0 : graph.TripleIntersectionSize(ei, ej, ek);
+      const uint64_t size_k = size_of[ek];
+      const uint64_t w_jk = w_j.Get(ek);
+      uint64_t w_ijk = 0;
+      if (w_jk != 0) {
+        if (!pair_ready) {
+          internal::StampPairNodes(graph, ej, arena);
+          pair_ready = true;
+        }
+        w_ijk = internal::StampedTripleIntersection(graph, ek, arena);
+      }
       // id 0 = triple with duplicated hyperedges (no h-motif, Figure 4).
       const int id = ClassifyMotifOrZero(size_i, size_j, size_k, w_ij, w_jk,
                                          w_ik, w_ijk);
       if (id != 0) raw[id] += 1.0;
     }
-    // Case 2: e_k in N(e_j) \ N(e_i) \ {e_i}: an open instance whose hub
-    // is e_j (e_i and e_k are disjoint). Counted for every such e_j.
-    for (const Neighbor& nj : projection.neighbors(ej)) {
-      const EdgeId ek = nj.edge;
-      if (ek == ei || stamp[ek] != 0) continue;  // in N(e_i): handled above
-      const uint64_t size_k = graph.edge_size(ek);
-      const int id = ClassifyMotifOrZero(size_i, size_j, size_k, w_ij,
-                                         /*w_jk=*/nj.weight, /*w_ik=*/0,
-                                         /*w_ijk=*/0);
-      if (id != 0) raw[id] += 1.0;
-    }
   }
-  for (const Neighbor& n : nbrs) stamp[n.edge] = 0;
 }
 
 }  // namespace
@@ -63,20 +83,25 @@ MotifCounts CountMotifsEdgeSample(const Hypergraph& graph,
   MotifCounts total;
   if (m == 0 || options.num_samples == 0) return total;
 
-  size_t num_threads = options.num_threads == 0 ? 1 : options.num_threads;
+  size_t num_threads =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
   if (num_threads > options.num_samples) {
     num_threads = static_cast<size_t>(options.num_samples);
   }
+  const std::vector<uint32_t> size_of = internal::HoistEdgeSizes(graph);
   std::vector<MotifCounts> partial(num_threads);
   const Rng base(options.seed);
 
   auto worker = [&](size_t thread) {
-    std::vector<uint32_t> stamp(m, 0);
+    ScratchArena& arena = LocalScratchArena();
+    arena.EnsureEdges(m);
+    arena.EnsureNodes(graph.num_nodes());
     for (uint64_t n = thread; n < options.num_samples; n += num_threads) {
       // Per-sample fork: the estimate is identical for any thread count.
       Rng rng = base.Fork(n);
       const EdgeId ei = static_cast<EdgeId>(rng.UniformInt(m));
-      ProcessSampledEdge(graph, projection, ei, stamp, partial[thread]);
+      ProcessSampledEdge(graph, projection, ei, size_of.data(), arena,
+                         partial[thread]);
     }
   };
   ParallelWorkers(num_threads, worker);
@@ -84,7 +109,8 @@ MotifCounts CountMotifsEdgeSample(const Hypergraph& graph,
   for (const MotifCounts& part : partial) total += part;
   // Rescale: each instance is counted once per sampled member hyperedge,
   // i.e. 3s/|E| times in expectation.
-  total *= static_cast<double>(m) / (3.0 * static_cast<double>(options.num_samples));
+  total *=
+      static_cast<double>(m) / (3.0 * static_cast<double>(options.num_samples));
   return total;
 }
 

@@ -19,7 +19,9 @@ namespace mochy {
 struct MochyAOptions {
   uint64_t num_samples = 1000;  ///< s — hyperedge samples (with replacement)
   uint64_t seed = 1;            ///< RNG seed; same seed => same estimate
-  size_t num_threads = 1;       ///< samples are processed in parallel
+  /// Samples are processed in parallel; 0 means DefaultThreadCount(). The
+  /// estimate is bit-identical for any thread count.
+  size_t num_threads = 1;
 };
 
 /// Unbiased estimates of all 26 motif counts via hyperedge sampling.

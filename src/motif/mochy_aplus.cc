@@ -6,33 +6,49 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/scratch_arena.h"
+#include "motif/stamp_kernels.h"
 
 namespace mochy {
 
 namespace {
 
 /// Visits every h-motif instance containing the wedge {e_i, e_j} and
-/// increments raw counts. `stamp_i` / `stamp_j` are |E|-sized scratch
-/// arrays (all zero on entry and exit).
+/// increments raw counts. arena.edge_weight holds w(e_j, ·) and
+/// arena.edge_weight2 w(e_i, ·) for the duration of the call; the node
+/// sets carry e_i and e_i ∩ e_j for the stamped triple intersections.
 void ProcessWedge(const Hypergraph& graph, EdgeId ei, EdgeId ej,
                   uint64_t w_ij, std::span<const Neighbor> nbrs_i,
-                  std::span<const Neighbor> nbrs_j,
-                  std::vector<uint32_t>& stamp_i,
-                  std::vector<uint32_t>& stamp_j, MotifCounts& raw) {
-  const uint64_t size_i = graph.edge_size(ei);
-  const uint64_t size_j = graph.edge_size(ej);
-  for (const Neighbor& n : nbrs_j) stamp_j[n.edge] = n.weight;
+                  std::span<const Neighbor> nbrs_j, const uint32_t* size_of,
+                  ScratchArena& arena, MotifCounts& raw) {
+  const uint64_t size_i = size_of[ei];
+  const uint64_t size_j = size_of[ej];
+  StampedWeights& w_i = arena.edge_weight2;  // w(e_i, ·) over N(e_i)\{e_j}
+  StampedWeights& w_j = arena.edge_weight;   // w(e_j, ·) over N(e_j)
+  w_j.NewEpoch();
+  for (const Neighbor& n : nbrs_j) w_j.Set(n.edge, n.weight);
+  w_i.NewEpoch();
+  // e_i's nodes and e_i ∩ e_j are scattered lazily: only wedges that reach
+  // a closed triple pay for the node passes.
+  bool pair_ready = false;
 
   // e_k in N(e_i): w_ik from the list, w_jk from the stamp.
   for (const Neighbor& n : nbrs_i) {
     const EdgeId ek = n.edge;
     if (ek == ej) continue;
-    stamp_i[ek] = n.weight;
+    w_i.Set(ek, n.weight);
     const uint64_t w_ik = n.weight;
-    const uint64_t w_jk = stamp_j[ek];
-    const uint64_t size_k = graph.edge_size(ek);
-    const uint64_t w_ijk =
-        w_jk == 0 ? 0 : graph.TripleIntersectionSize(ei, ej, ek);
+    const uint64_t w_jk = w_j.Get(ek);
+    const uint64_t size_k = size_of[ek];
+    uint64_t w_ijk = 0;
+    if (w_jk != 0) {
+      if (!pair_ready) {
+        internal::StampHubNodes(graph, ei, arena);
+        internal::StampPairNodes(graph, ej, arena);
+        pair_ready = true;
+      }
+      w_ijk = internal::StampedTripleIntersection(graph, ek, arena);
+    }
     // id 0 = triple with duplicated hyperedges (no h-motif, Figure 4).
     const int id = ClassifyMotifOrZero(size_i, size_j, size_k, w_ij, w_jk,
                                        w_ik, w_ijk);
@@ -41,16 +57,12 @@ void ProcessWedge(const Hypergraph& graph, EdgeId ei, EdgeId ej,
   // e_k in N(e_j) \ N(e_i): w_ik = 0, hence open with hub e_j.
   for (const Neighbor& n : nbrs_j) {
     const EdgeId ek = n.edge;
-    if (ek == ei || stamp_i[ek] != 0) continue;
-    const uint64_t size_k = graph.edge_size(ek);
-    const int id = ClassifyMotifOrZero(size_i, size_j, size_k, w_ij,
+    if (ek == ei || w_i.Test(ek)) continue;
+    const int id = ClassifyMotifOrZero(size_i, size_j, size_of[ek], w_ij,
                                        /*w_jk=*/n.weight, /*w_ik=*/0,
                                        /*w_ijk=*/0);
     if (id != 0) raw[id] += 1.0;
   }
-
-  for (const Neighbor& n : nbrs_i) stamp_i[n.edge] = 0;
-  for (const Neighbor& n : nbrs_j) stamp_j[n.edge] = 0;
 }
 
 /// Applies the Theorem-4 rescaling: raw counts -> unbiased estimates.
@@ -75,15 +87,19 @@ MotifCounts CountMotifsWedgeSample(const Hypergraph& graph,
   const uint64_t wedges = projection.num_wedges();
   if (m == 0 || wedges == 0 || options.num_samples == 0) return total;
 
-  size_t num_threads = options.num_threads == 0 ? 1 : options.num_threads;
+  size_t num_threads =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
   if (num_threads > options.num_samples) {
     num_threads = static_cast<size_t>(options.num_samples);
   }
+  const std::vector<uint32_t> size_of = internal::HoistEdgeSizes(graph);
   std::vector<MotifCounts> partial(num_threads);
   const Rng base(options.seed);
 
   auto worker = [&](size_t thread) {
-    std::vector<uint32_t> stamp_i(m, 0), stamp_j(m, 0);
+    ScratchArena& arena = LocalScratchArena();
+    arena.EnsureEdges(m);
+    arena.EnsureNodes(graph.num_nodes());
     for (uint64_t n = thread; n < options.num_samples; n += num_threads) {
       Rng rng = base.Fork(n);
       const uint64_t k = rng.UniformInt(wedges);
@@ -91,7 +107,7 @@ MotifCounts CountMotifsWedgeSample(const Hypergraph& graph,
       const uint64_t w_ij = projection.Weight(ei, ej);
       MOCHY_DCHECK(w_ij > 0);
       ProcessWedge(graph, ei, ej, w_ij, projection.neighbors(ei),
-                   projection.neighbors(ej), stamp_i, stamp_j,
+                   projection.neighbors(ej), size_of.data(), arena,
                    partial[thread]);
     }
   };
@@ -115,7 +131,10 @@ MotifCounts CountMotifsWedgeSampleOnTheFly(
   if (m == 0 || wedges == 0 || options.num_samples == 0) return total;
 
   LazyProjection lazy(graph, lazy_options);
-  std::vector<uint32_t> stamp_i(m, 0), stamp_j(m, 0);
+  const std::vector<uint32_t> size_of = internal::HoistEdgeSizes(graph);
+  ScratchArena& arena = LocalScratchArena();
+  arena.EnsureEdges(m);
+  arena.EnsureNodes(graph.num_nodes());
   std::vector<Neighbor> nbrs_i;  // copy: the lazy reference is transient
   const Rng base(options.seed);
   for (uint64_t n = 0; n < options.num_samples; ++n) {
@@ -143,7 +162,7 @@ MotifCounts CountMotifsWedgeSampleOnTheFly(
     ProcessWedge(graph, ei, ej, w_ij,
                  std::span<const Neighbor>(nbrs_i.data(), nbrs_i.size()),
                  std::span<const Neighbor>(nbrs_j.data(), nbrs_j.size()),
-                 stamp_i, stamp_j, total);
+                 size_of.data(), arena, total);
   }
   RescaleWedgeEstimates(wedges, options.num_samples, &total);
   if (stats_out != nullptr) *stats_out = lazy.stats();

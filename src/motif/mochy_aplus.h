@@ -22,6 +22,8 @@ namespace mochy {
 struct MochyAPlusOptions {
   uint64_t num_samples = 1000;  ///< r — hyperwedge samples (with replacement)
   uint64_t seed = 1;
+  /// Samples are processed in parallel; 0 means DefaultThreadCount(). The
+  /// estimate is bit-identical for any thread count.
   size_t num_threads = 1;
 };
 

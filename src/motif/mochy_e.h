@@ -6,6 +6,13 @@
 // their unique "hub"); closed instances are visited three times, so they
 // are counted only when i < min(j, k). Complexity
 // O(Σ_e |e| · |N_e|²) (Theorem 1).
+//
+// The hot loop runs on epoch-stamped scratch arrays (motif/stamp_kernels.h,
+// docs/ARCHITECTURE.md "Counting kernels"): per-pair weights come from a
+// dense scatter of N(e_j) instead of hash probes, triple intersections from
+// stamped node marks, and hubs are claimed in Σd²-balanced chunks. The
+// pre-stamp implementation is retained in motif/reference.h as the
+// differential-test oracle and bench baseline.
 #ifndef MOCHY_MOTIF_MOCHY_E_H_
 #define MOCHY_MOTIF_MOCHY_E_H_
 
@@ -16,8 +23,8 @@
 namespace mochy {
 
 /// Exactly counts every h-motif's instances. `num_threads` parallelizes
-/// over hub hyperedges (Section 3.4); the result is identical for any
-/// thread count.
+/// over hub hyperedges (Section 3.4); 0 means DefaultThreadCount(). The
+/// result is identical for any thread count.
 MotifCounts CountMotifsExact(const Hypergraph& graph,
                              const ProjectedGraph& projection,
                              size_t num_threads = 1);

@@ -1,0 +1,203 @@
+// Differential regression tests for the stamp-array counting kernels.
+//
+// The production MoCHy-E/A/A+ kernels (stamp arrays + chunked claiming)
+// must be BIT-identical to the retained pre-stamp baselines
+// (motif/reference.h) on every graph, seed and thread count: exact counts
+// are integers and the samplers rescale identical integral raw counts, so
+// the comparisons below use EXPECT_EQ, not tolerances. Graphs cover
+// varied degree skew, duplicate hyperedges (dedup disabled, as null
+// models do) and the paper's Figure-2 running example.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "gen/generators.h"
+#include "hypergraph/builder.h"
+#include "motif/engine.h"
+#include "motif/mochy_a.h"
+#include "motif/mochy_aplus.h"
+#include "motif/mochy_e.h"
+#include "motif/reference.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+void ExpectBitIdentical(const MotifCounts& got, const MotifCounts& want,
+                        const std::string& label) {
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_EQ(got[t], want[t]) << label << ": motif " << t;
+  }
+}
+
+/// Random hypergraph with duplicate hyperedges retained: duplicates reach
+/// the counting kernels when null models disable dedup, and their triples
+/// must classify to id 0 in both kernel generations.
+Hypergraph RandomWithDuplicates(size_t num_nodes, size_t num_edges,
+                                size_t min_size, size_t max_size,
+                                uint64_t seed) {
+  Rng rng(seed);
+  HypergraphBuilder builder;
+  std::vector<NodeId> edge;
+  std::vector<std::vector<NodeId>> pool;
+  for (size_t e = 0; e < num_edges; ++e) {
+    // One edge in four repeats an earlier one verbatim.
+    if (!pool.empty() && rng.UniformInt(4) == 0) {
+      const auto& dup = pool[rng.UniformInt(pool.size())];
+      builder.AddEdge(std::span<const NodeId>(dup.data(), dup.size()));
+      continue;
+    }
+    const size_t size = static_cast<size_t>(rng.UniformRange(
+        static_cast<int64_t>(min_size), static_cast<int64_t>(max_size)));
+    const auto ids = rng.SampleDistinct(num_nodes, std::min(size, num_nodes));
+    edge.assign(ids.begin(), ids.end());
+    builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+    pool.push_back(edge);
+  }
+  BuildOptions options;
+  options.num_nodes = num_nodes;
+  options.dedup_edges = false;
+  return std::move(builder).Build(options).value();
+}
+
+/// The test corpus: low-skew sparse, high-skew dense (few nodes, many
+/// edges => heavy-tailed projected degrees), a domain-generator graph and
+/// a duplicate-heavy graph.
+std::vector<Hypergraph> DiffCorpus() {
+  std::vector<Hypergraph> graphs;
+  graphs.push_back(testing::RandomHypergraph(60, 80, 2, 5, 11));
+  graphs.push_back(testing::RandomHypergraph(25, 120, 2, 9, 23));
+  GeneratorConfig config = DefaultConfig(Domain::kContact, 0.05);
+  config.seed = 7;
+  graphs.push_back(GenerateDomainHypergraph(config).value());
+  graphs.push_back(RandomWithDuplicates(40, 90, 2, 6, 31));
+  return graphs;
+}
+
+std::vector<size_t> ThreadCounts() {
+  return {1, 2, DefaultThreadCount()};
+}
+
+TEST(KernelDiffTest, ExactMatchesReferenceAtEveryThreadCount) {
+  for (const Hypergraph& graph : DiffCorpus()) {
+    const auto projection = ProjectedGraph::Build(graph, 1).value();
+    const MotifCounts want = reference::CountMotifsExact(graph, projection, 1);
+    for (size_t threads : ThreadCounts()) {
+      ExpectBitIdentical(
+          CountMotifsExact(graph, projection, threads), want,
+          "exact m=" + std::to_string(graph.num_edges()) + " threads=" +
+              std::to_string(threads));
+    }
+  }
+}
+
+TEST(KernelDiffTest, ExactMatchesBruteForce) {
+  // Absolute correctness, not just agreement with the old kernel.
+  for (const Hypergraph& graph : DiffCorpus()) {
+    if (graph.num_edges() > 130) continue;  // brute force is O(|E|^3)
+    ExpectBitIdentical(CountMotifsExact(graph, 2),
+                       testing::BruteForceCounts(graph), "brute-force");
+  }
+}
+
+TEST(KernelDiffTest, EdgeSampleMatchesReference) {
+  for (const Hypergraph& graph : DiffCorpus()) {
+    const auto projection = ProjectedGraph::Build(graph, 1).value();
+    for (uint64_t seed : {1u, 77u}) {
+      MochyAOptions options;
+      options.num_samples = 64;
+      options.seed = seed;
+      const MotifCounts want =
+          reference::CountMotifsEdgeSample(graph, projection, options);
+      for (size_t threads : ThreadCounts()) {
+        options.num_threads = threads;
+        ExpectBitIdentical(
+            CountMotifsEdgeSample(graph, projection, options), want,
+            "mochy-a seed=" + std::to_string(seed) + " threads=" +
+                std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, WedgeSampleMatchesReference) {
+  for (const Hypergraph& graph : DiffCorpus()) {
+    const auto projection = ProjectedGraph::Build(graph, 1).value();
+    for (uint64_t seed : {1u, 77u}) {
+      MochyAPlusOptions options;
+      options.num_samples = 64;
+      options.seed = seed;
+      const MotifCounts want =
+          reference::CountMotifsWedgeSample(graph, projection, options);
+      for (size_t threads : ThreadCounts()) {
+        options.num_threads = threads;
+        ExpectBitIdentical(
+            CountMotifsWedgeSample(graph, projection, options), want,
+            "mochy-a+ seed=" + std::to_string(seed) + " threads=" +
+                std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, ZeroThreadsMeansDefaultThreadCount) {
+  // The raw entry points must accept 0 (PR-2 contract) and still produce
+  // the single-thread result bit-for-bit.
+  const Hypergraph graph = testing::RandomHypergraph(40, 60, 2, 5, 5);
+  const auto projection = ProjectedGraph::Build(graph, 1).value();
+  ExpectBitIdentical(CountMotifsExact(graph, projection, 0),
+                     CountMotifsExact(graph, projection, 1), "exact 0-threads");
+
+  MochyAOptions a;
+  a.num_samples = 32;
+  a.num_threads = 0;
+  MochyAOptions a1 = a;
+  a1.num_threads = 1;
+  ExpectBitIdentical(CountMotifsEdgeSample(graph, projection, a),
+                     CountMotifsEdgeSample(graph, projection, a1),
+                     "mochy-a 0-threads");
+
+  MochyAPlusOptions ap;
+  ap.num_samples = 32;
+  ap.num_threads = 0;
+  MochyAPlusOptions ap1 = ap;
+  ap1.num_threads = 1;
+  ExpectBitIdentical(CountMotifsWedgeSample(graph, projection, ap),
+                     CountMotifsWedgeSample(graph, projection, ap1),
+                     "mochy-a+ 0-threads");
+}
+
+TEST(KernelDiffTest, Figure2GoldenVector) {
+  // Figure 2 running example; full 26-motif golden vector (motifs 10, 21,
+  // 22 each once — see tests/golden_test.cc for the construction).
+  const Hypergraph graph =
+      MakeHypergraph({{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}}).value();
+  const auto projection = ProjectedGraph::Build(graph, 1).value();
+  MotifCounts want;
+  want[10] = 1.0;
+  want[21] = 1.0;
+  want[22] = 1.0;
+  for (size_t threads : ThreadCounts()) {
+    ExpectBitIdentical(CountMotifsExact(graph, projection, threads), want,
+                       "figure-2 stamped");
+  }
+  ExpectBitIdentical(reference::CountMotifsExact(graph, projection, 1), want,
+                     "figure-2 reference");
+}
+
+TEST(KernelDiffTest, WorkChunkBoundariesCoverTheRange) {
+  const std::vector<uint64_t> skewed = {0, 1, 100, 0, 0, 50, 2, 2,
+                                        2,  2, 0,  9, 1, 0,  30};
+  for (size_t chunks : {1u, 2u, 4u, 64u}) {
+    const auto b = WorkChunkBoundaries(skewed, chunks);
+    ASSERT_GE(b.size(), 2u);
+    EXPECT_EQ(b.front(), 0u);
+    EXPECT_EQ(b.back(), skewed.size());
+    for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  }
+  EXPECT_EQ(WorkChunkBoundaries({}, 4).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mochy

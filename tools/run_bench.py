@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Build and run the MoCHy perf harness, writing a BENCH_*.json report.
+
+Thin driver around bench/bench_report: configures + builds the `release`
+CMake preset when needed, runs the harness, and (for CI) compares the
+fresh report against a checked-in baseline, failing on wall-time
+regressions beyond a threshold.
+
+Typical uses:
+
+  # Full report (5 example graphs, stamped + reference kernels):
+  tools/run_bench.py --out BENCH_pr3.json --tag pr3
+
+  # CI perf smoke: one small graph, fail on >25% regression:
+  tools/run_bench.py --smoke --out BENCH_smoke.json \
+      --baseline bench/baselines/BENCH_smoke_baseline.json --check
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    subprocess.run(cmd, check=True, **kwargs)
+
+
+def ensure_built(build_dir: pathlib.Path, preset: str) -> pathlib.Path:
+    """Configures + builds bench_report in `build_dir`; returns its path."""
+    if not (build_dir / "CMakeCache.txt").exists():
+        if build_dir == REPO / f"build-{preset}":
+            # The preset's own binaryDir: configure through the preset.
+            run(["cmake", "--preset", preset], cwd=REPO)
+        else:
+            # A custom --build-dir: the preset would configure its own
+            # directory instead, so configure the requested one directly.
+            run(["cmake", "-B", str(build_dir), "-S", ".",
+                 "-DCMAKE_BUILD_TYPE=Release"], cwd=REPO)
+    run(["cmake", "--build", str(build_dir), "-j", "--target", "bench_report"],
+        cwd=REPO)
+    binary = build_dir / "bench" / "bench_report"
+    if not binary.exists():
+        sys.exit(f"error: {binary} was not produced by the build")
+    return binary
+
+
+def kernel_walls(report: dict) -> dict:
+    """Flattens a report into {(graph, kernel): wall_s}."""
+    walls = {}
+    for graph in report.get("graphs", []):
+        for kernel in graph.get("kernels", []):
+            walls[(graph["name"], kernel["kernel"])] = kernel["wall_s"]
+    return walls
+
+
+def calibration_factor(fresh_walls: dict, base_walls: dict) -> float:
+    """Machine-speed ratio between the two runs, estimated from the
+    frozen reference kernels (motif/reference.h): their code never
+    changes, so any wall-time shift on them is the machine, not the PR.
+    Returns the median now/base ratio over reference kernels, or 1.0."""
+    ratios = []
+    for key, base in base_walls.items():
+        if not key[1].endswith("/reference") or base <= 0:
+            continue
+        now = fresh_walls.get(key)
+        if now is not None and now > 0:
+            ratios.append(now / base)
+    if not ratios:
+        return 1.0
+    ratios.sort()
+    return ratios[len(ratios) // 2]
+
+
+def check_regressions(fresh: dict, baseline: dict, max_regression: float) -> int:
+    """Returns the number of kernels regressing past the threshold.
+    Wall times are normalized by the reference-kernel calibration factor
+    so the gate compares code, not the baseline machine vs this one."""
+    fresh_walls = kernel_walls(fresh)
+    base_walls = kernel_walls(baseline)
+    calibration = calibration_factor(fresh_walls, base_walls)
+    print(f"machine calibration (reference kernels): {calibration:.2f}x")
+    failures = 0
+    for key, base in sorted(base_walls.items()):
+        now = fresh_walls.get(key)
+        if now is None:
+            print(f"REGRESSION: {key} in baseline but missing from the "
+                  f"fresh report")
+            failures += 1
+            continue
+        if base <= 0:
+            continue
+        ratio = now / (base * calibration)
+        status = "ok"
+        if ratio > 1.0 + max_regression:
+            status = "REGRESSION"
+            failures += 1
+        print(f"  {key[0]:<14} {key[1]:<20} base={base * 1e3:8.3f}ms "
+              f"now={now * 1e3:8.3f}ms calibrated-ratio={ratio:5.2f}  "
+              f"{status}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="release",
+                        help="CMake configure preset to build (default: release)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build directory (default: build-<preset>)")
+    parser.add_argument("--out", default="BENCH_report.json",
+                        help="output JSON path")
+    parser.add_argument("--tag", default=None, help="report tag")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="graph scale (full mode)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="counting threads (default: harness default, 1)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="repeats per kernel; wall time is the minimum")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small graph, quick repeats (CI payload)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline BENCH_*.json to compare against")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a kernel regresses past "
+                             "--max-regression vs the baseline")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional wall-time regression "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir) if args.build_dir \
+        else REPO / f"build-{args.preset}"
+    binary = ensure_built(build_dir, args.preset)
+
+    out_path = pathlib.Path(args.out)
+    cmd = [str(binary), "--out", str(out_path)]
+    if args.smoke:
+        cmd.append("--smoke")
+    if args.tag is not None:
+        cmd += ["--tag", args.tag]
+    if args.scale is not None:
+        cmd += ["--scale", str(args.scale)]
+    if args.threads is not None:
+        cmd += ["--threads", str(args.threads)]
+    if args.repeat is not None:
+        cmd += ["--repeat", str(args.repeat)]
+    run(cmd)
+
+    fresh = json.loads(out_path.read_text())
+    for graph in fresh.get("graphs", []):
+        speedup = graph.get("exact_speedup_vs_reference", 0.0)
+        print(f"{graph['name']}: exact stamped speedup {speedup:.2f}x "
+              f"vs reference")
+
+    if args.baseline:
+        baseline = json.loads(pathlib.Path(args.baseline).read_text())
+        print(f"comparing against {args.baseline} "
+              f"(threshold +{args.max_regression * 100:.0f}%)")
+        failures = check_regressions(fresh, baseline, args.max_regression)
+        if failures and args.check:
+            print(f"error: {failures} kernel(s) regressed "
+                  f"past {args.max_regression * 100:.0f}%")
+            return 1
+        if not failures:
+            print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
