@@ -29,6 +29,7 @@
 #include "motif/mochy_aplus.h"
 #include "motif/mochy_e.h"
 #include "motif/reference.h"
+#include "motif/streaming.h"
 
 namespace mochy::bench {
 namespace {
@@ -71,6 +72,17 @@ struct GraphReport {
   double projection_s = 0.0;
   std::vector<KernelRow> kernels;
   double exact_speedup = 0.0;  // reference wall / stamped wall, 0 if absent
+  // Streaming scenario: the graph's edges replayed as an arrival stream
+  // through StreamingEngine (one O(Δ) delta pass each), final counts
+  // verified bit-identical to the exact kernels in-run.
+  uint64_t stream_arrivals = 0;
+  double stream_wall_s = 0.0;           // min over repeats
+  double stream_arrivals_per_s = 0.0;
+  double stream_mean_arrival_us = 0.0;  // mean per-arrival latency
+  // (projection build + reference exact recount) / mean per-arrival cost:
+  // what maintaining exact counts on one arrival costs with a recount
+  // vs. with the incremental delta pass, at this graph's size.
+  double stream_speedup_vs_recount = 0.0;
 };
 
 /// Minimum wall time of `fn` over `repeat` runs; the first run's result is
@@ -194,6 +206,48 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
                  name.c_str());
     std::exit(1);
   }
+
+  // Streaming scenario: replay the graph's own edges as an arrival
+  // stream. The end state is the measured graph itself, so the final
+  // incremental counts must equal the exact kernels bit-for-bit.
+  MotifCounts streamed;
+  KernelRow stream_row;
+  stream_row.kernel = "streaming/replay";
+  stream_row.threads = config.threads;
+  stream_row.samples = graph.num_edges();
+  stream_row.wall_s = MinWall(config.repeat, &streamed, [&] {
+    StreamingOptions streaming;
+    streaming.num_threads = config.threads;
+    StreamingEngine engine(streaming);
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      auto added = engine.AddEdge(graph.edge(e));
+      if (!added.ok()) {
+        std::fprintf(stderr, "FATAL: %s: streaming AddEdge failed: %s\n",
+                     name.c_str(), added.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    return engine.counts();
+  });
+  stream_row.samples_per_s =
+      stream_row.wall_s > 0.0 ? m / stream_row.wall_s : 0.0;
+  report.kernels.push_back(stream_row);
+  if (!BitIdentical(streamed, exact_stamped)) {
+    std::fprintf(stderr, "FATAL: %s: streaming replay counts diverge from "
+                         "the exact kernel\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  report.stream_arrivals = graph.num_edges();
+  report.stream_wall_s = stream_row.wall_s;
+  report.stream_arrivals_per_s = stream_row.samples_per_s;
+  const double mean_arrival_s =
+      graph.num_edges() > 0 ? stream_row.wall_s / m : 0.0;
+  report.stream_mean_arrival_us = mean_arrival_s * 1e6;
+  if (mean_arrival_s > 0.0) {
+    report.stream_speedup_vs_recount =
+        (report.projection_s + reference_wall) / mean_arrival_s;
+  }
   return report;
 }
 
@@ -237,6 +291,14 @@ void WriteJson(const Config& config, const std::vector<GraphReport>& graphs) {
                  report.projection_s);
     std::fprintf(out, "      \"exact_speedup_vs_reference\": %.3f,\n",
                  report.exact_speedup);
+    std::fprintf(out,
+                 "      \"streaming\": {\"arrivals\": %llu, \"wall_s\": %.6f, "
+                 "\"arrivals_per_s\": %.1f, \"mean_arrival_us\": %.3f, "
+                 "\"per_arrival_speedup_vs_recount\": %.1f},\n",
+                 static_cast<unsigned long long>(report.stream_arrivals),
+                 report.stream_wall_s, report.stream_arrivals_per_s,
+                 report.stream_mean_arrival_us,
+                 report.stream_speedup_vs_recount);
     std::fprintf(out, "      \"kernels\": [\n");
     for (size_t k = 0; k < report.kernels.size(); ++k) {
       const KernelRow& row = report.kernels[k];
@@ -331,10 +393,12 @@ int Main(int argc, char** argv) {
 
   WriteJson(config, reports);
   for (const GraphReport& report : reports) {
-    std::printf("%-10s |E|=%-6zu wedges=%-8llu exact speedup %.2fx\n",
+    std::printf("%-10s |E|=%-6zu wedges=%-8llu exact speedup %.2fx | "
+                "stream %.0f arrivals/s, per-arrival speedup %.0fx\n",
                 report.name.c_str(), report.edges,
                 static_cast<unsigned long long>(report.wedges),
-                report.exact_speedup);
+                report.exact_speedup, report.stream_arrivals_per_s,
+                report.stream_speedup_vs_recount);
   }
   std::printf("wrote %s\n", config.out.c_str());
   return 0;

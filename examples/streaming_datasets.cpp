@@ -3,7 +3,10 @@
 // Demonstrates the I/O layer (the text format of the public Benson et al.
 // datasets), Table 2-style statistics, and the on-the-fly MoCHy-A+ variant
 // that avoids materializing the projected graph (paper Section 3.4) —
-// useful when |∧| is much larger than the memory budget.
+// useful when |∧| is much larger than the memory budget. ("Streaming"
+// here means streaming *over a stored dataset* with bounded memory; for
+// incremental counting over live hyperedge *arrivals*, see
+// motif/streaming.h and docs/STREAMING.md.)
 //
 //   $ ./build/examples/streaming_datasets
 #include <cstdio>

@@ -8,8 +8,17 @@
 
 namespace mochy {
 
-Result<std::vector<Hypergraph>> GenerateTemporalCoauthorship(
-    const TemporalConfig& config) {
+TemporalConfig ScaledTemporalConfig(double scale, size_t num_years) {
+  TemporalConfig config;
+  config.num_years = num_years;
+  config.num_nodes =
+      std::max<size_t>(8, static_cast<size_t>(3000 * scale));
+  config.edges_first_year = static_cast<size_t>(900 * scale);
+  config.edges_last_year = static_cast<size_t>(2600 * scale);
+  return config;
+}
+
+Result<TemporalTrace> GenerateTemporalTrace(const TemporalConfig& config) {
   if (config.num_years == 0 || config.num_nodes < 8) {
     return Status::InvalidArgument("temporal generator needs years and nodes");
   }
@@ -21,8 +30,7 @@ Result<std::vector<Hypergraph>> GenerateTemporalCoauthorship(
     community_members[rng.Zipf(num_communities, 0.8)].push_back(v);
   }
 
-  std::vector<Hypergraph> years;
-  years.reserve(config.num_years);
+  TemporalTrace trace;
   for (size_t year = 0; year < config.num_years; ++year) {
     const double progress =
         config.num_years == 1
@@ -45,7 +53,6 @@ Result<std::vector<Hypergraph>> GenerateTemporalCoauthorship(
     // the paper's rising open-motif fraction.
     const double repeat_probability = 0.65 - 0.35 * progress;
 
-    HypergraphBuilder builder;
     std::vector<NodeId> edge;
     std::vector<std::vector<NodeId>> history;
     std::unordered_set<NodeId> seen;
@@ -91,12 +98,34 @@ Result<std::vector<Hypergraph>> GenerateTemporalCoauthorship(
         }
       }
       if (edge.empty()) continue;
-      builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+      trace.arrivals.push_back(TimedEdge{year, edge});
       history.push_back(edge);
       if (history.size() > 128) history.erase(history.begin());
     }
+  }
+  return trace;
+}
+
+Result<std::vector<Hypergraph>> GenerateTemporalCoauthorship(
+    const TemporalConfig& config) {
+  auto trace = GenerateTemporalTrace(config);
+  if (!trace.ok()) return trace.status();
+
+  // Group arrivals by year; the snapshot build dedups repeat
+  // collaborations within the year, as before.
+  std::vector<Hypergraph> years;
+  years.reserve(config.num_years);
+  size_t index = 0;
+  const auto& arrivals = trace.value().arrivals;
+  for (size_t year = 0; year < config.num_years; ++year) {
+    HypergraphBuilder builder;
+    while (index < arrivals.size() && arrivals[index].time == year) {
+      const auto& nodes = arrivals[index].nodes;
+      builder.AddEdge(std::span<const NodeId>(nodes.data(), nodes.size()));
+      ++index;
+    }
     BuildOptions options;
-    options.num_nodes = n;
+    options.num_nodes = config.num_nodes;
     auto graph = std::move(builder).Build(options);
     if (!graph.ok()) return graph.status();
     years.push_back(std::move(graph).value());

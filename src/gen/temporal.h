@@ -1,10 +1,17 @@
-// Temporal co-authorship generator for the evolution case study
-// (paper Section 4.4, Figure 7).
-//
-// Produces one hypergraph per "year". Over the years, collaborations
-// gradually reach across community boundaries and teams grow, which makes
-// collaborations less clustered — exactly the mechanism the paper reads
-// off Figure 7(b): the fraction of open h-motif instances rises over time.
+/// \file
+/// Temporal co-authorship generator for the evolution case study
+/// (paper Section 4.4, Figure 7).
+///
+/// One generative process, two views. Over the "years", collaborations
+/// gradually reach across community boundaries and teams grow, which
+/// makes collaborations less clustered — exactly the mechanism the paper
+/// reads off Figure 7(b): the fraction of open h-motif instances rises
+/// over time. The process can be materialized as per-year snapshot
+/// hypergraphs (the paper's "publications in each year" setup) or as a
+/// timestamped hyperedge arrival trace (hypergraph/temporal_trace.h) for
+/// the streaming engine to replay; both come from the same RNG stream,
+/// so `GenerateTemporalCoauthorship(c)` equals
+/// `GenerateTemporalTrace(c)` grouped by year and deduplicated.
 #ifndef MOCHY_GEN_TEMPORAL_H_
 #define MOCHY_GEN_TEMPORAL_H_
 
@@ -13,25 +20,42 @@
 
 #include "common/status.h"
 #include "hypergraph/hypergraph.h"
+#include "hypergraph/temporal_trace.h"
 
 namespace mochy {
 
+/// Knobs of the temporal co-authorship process.
 struct TemporalConfig {
   size_t num_years = 33;        ///< paper: 1984..2016
   size_t num_nodes = 1500;      ///< author population
-  size_t edges_first_year = 300;
+  size_t edges_first_year = 300;  ///< publications in the first year
   size_t edges_last_year = 900;  ///< linear growth in publications
   /// Probability that a collaboration crosses community boundaries in the
-  /// first / last year (linear interpolation in between).
+  /// first year (linear interpolation to cross_community_last).
   double cross_community_first = 0.05;
+  /// Cross-community probability in the last year.
   double cross_community_last = 0.55;
-  uint64_t seed = 1;
+  uint64_t seed = 1;  ///< RNG seed; same seed, same output
 };
 
 /// One snapshot per year (not cumulative), matching the paper's "using the
-/// publications in each year" setup.
+/// publications in each year" setup. Duplicate collaborations within a
+/// year are removed (the paper's Table 2 convention).
 Result<std::vector<Hypergraph>> GenerateTemporalCoauthorship(
     const TemporalConfig& config = {});
+
+/// The same process as a hyperedge arrival stream: one TimedEdge per
+/// publication, stamped with its 0-based year, duplicates retained (a
+/// stream has no dedup point). Feed it to ReplayTrace/StreamingEngine
+/// (motif/streaming.h); window width 1 recovers the yearly cadence.
+Result<TemporalTrace> GenerateTemporalTrace(const TemporalConfig& config = {});
+
+/// The canonical Figure-7 workload at `scale`: author population and
+/// yearly publication counts scale linearly (scale 1.0 = 3000 authors,
+/// 900 growing to 2600 publications/year). Shared by
+/// bench/figure7_evolution and `mochy_cli gen-trace` so the benchmarked
+/// workload and the CLI-generated traces stay in lockstep.
+TemporalConfig ScaledTemporalConfig(double scale, size_t num_years = 33);
 
 }  // namespace mochy
 

@@ -1,0 +1,85 @@
+#include "hypergraph/dynamic.h"
+
+#include <algorithm>
+
+#include "hypergraph/builder.h"
+
+namespace mochy {
+
+Result<EdgeId> DynamicHypergraph::AddEdge(std::span<const NodeId> nodes) {
+  if (num_edges() >= kInvalidEdge) {
+    return Status::OutOfRange("edge id space exhausted");
+  }
+  // Normalize exactly like HypergraphBuilder: sort members, drop
+  // within-edge duplicates.
+  members_.assign(nodes.begin(), nodes.end());
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  if (members_.empty()) {
+    return Status::InvalidArgument("hyperedge has no member nodes");
+  }
+  const EdgeId e = static_cast<EdgeId>(num_edges());
+  if (members_.back() >= node_edges_.size()) {
+    node_edges_.resize(static_cast<size_t>(members_.back()) + 1);
+  }
+
+  // One stamped-counter sweep over the members' incidence lists yields
+  // N(e) with weights: every occurrence of edge `a` in some E_v, v ∈ e,
+  // is one shared node, so the per-edge occurrence count is |e ∩ a|.
+  overlap_.EnsureSize(e + 1);
+  overlap_.NewEpoch();
+  touched_.clear();
+  for (const NodeId v : members_) {
+    for (const EdgeId a : node_edges_[v]) {
+      const uint32_t seen = overlap_.Get(a);
+      if (seen == 0) touched_.push_back(a);
+      overlap_.Set(a, seen + 1);
+    }
+  }
+  // Arrival order is id order everywhere else; keep N(e) sorted too.
+  std::sort(touched_.begin(), touched_.end());
+
+  adjacency_.emplace_back();
+  std::vector<Neighbor>& own = adjacency_.back();
+  own.reserve(touched_.size());
+  for (const EdgeId a : touched_) {
+    const uint32_t weight = overlap_.Get(a);
+    own.push_back(Neighbor{a, weight});
+    // `e` holds the largest id, so appending keeps adjacency_[a] sorted.
+    adjacency_[a].push_back(Neighbor{e, weight});
+    total_weight_ += weight;
+  }
+  num_wedges_ += touched_.size();
+
+  // Publish the edge itself last: the sweep above must not see `e` in
+  // its own members' incidence lists.
+  for (const NodeId v : members_) node_edges_[v].push_back(e);
+  edge_nodes_.insert(edge_nodes_.end(), members_.begin(), members_.end());
+  edge_offsets_.push_back(edge_nodes_.size());
+  return e;
+}
+
+Result<EdgeId> DynamicHypergraph::AddEdge(std::initializer_list<NodeId> nodes) {
+  return AddEdge(std::span<const NodeId>(nodes.begin(), nodes.size()));
+}
+
+Result<Hypergraph> DynamicHypergraph::Snapshot() const {
+  HypergraphBuilder builder;
+  for (EdgeId e = 0; e < num_edges(); ++e) builder.AddEdge(edge(e));
+  BuildOptions options;
+  options.dedup_edges = false;
+  options.num_nodes = num_nodes();
+  return std::move(builder).Build(options);
+}
+
+void DynamicHypergraph::Clear() {
+  edge_offsets_.resize(1);
+  edge_nodes_.clear();
+  node_edges_.clear();
+  adjacency_.clear();
+  num_wedges_ = 0;
+  total_weight_ = 0;
+}
+
+}  // namespace mochy

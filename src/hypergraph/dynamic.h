@@ -1,0 +1,135 @@
+/// \file
+/// Append-oriented hypergraph with an incrementally maintained projection.
+///
+/// `Hypergraph` (hypergraph.h) is immutable CSR — the right shape for the
+/// static MoCHy kernels, the wrong one for a stream of hyperedge
+/// arrivals, where rebuilding both incidence directions plus the
+/// projected graph per arrival costs O(graph) each time. DynamicHypergraph
+/// is the streaming counterpart: an append-only edge log plus growable
+/// node->edges and projection adjacency, all updated in O(Δ) per arrival,
+/// where Δ is the arriving edge's incidence and projected neighborhood —
+/// never the graph size.
+///
+/// \par What AddEdge maintains
+/// For an arriving edge `e` with member set S (sorted, deduplicated on
+/// ingest):
+///  - the edge log (contiguous member pool + offsets, append-only);
+///  - `edges_of(v)` for every v in S (edge ids appended in arrival order,
+///    which is ascending-id order, so the lists stay sorted);
+///  - the projection adjacency: N(e) with weights w(e, a) = |e ∩ a| is
+///    computed by one stamped-counter sweep over the incidence lists of
+///    S — O(Σ_{v∈S} |E_v|) — and `Neighbor{e, w}` is appended to each
+///    neighbor's list. Since `e` carries the largest id so far, every
+///    adjacency list stays sorted by edge id, the same invariant
+///    ProjectedGraph::Build establishes;
+///  - the wedge count |∧| and total projection weight.
+///
+/// Duplicate hyperedges are retained, exactly like a static build with
+/// `dedup_edges = false`: an arrival stream has no natural dedup point,
+/// and the motif kernels already classify triples containing duplicates
+/// to id 0. Deletions are out of scope (see docs/STREAMING.md).
+///
+/// Not thread-safe: one writer, no concurrent readers during AddEdge.
+#ifndef MOCHY_HYPERGRAPH_DYNAMIC_H_
+#define MOCHY_HYPERGRAPH_DYNAMIC_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/scratch_arena.h"
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/projection.h"
+#include "hypergraph/types.h"
+
+namespace mochy {
+
+class DynamicHypergraph {
+ public:
+  DynamicHypergraph() = default;
+
+  /// Number of nodes: max node id seen so far + 1 (isolated ids below the
+  /// max count as nodes, as in the static builder).
+  size_t num_nodes() const { return node_edges_.size(); }
+
+  /// Number of hyperedges appended so far.
+  size_t num_edges() const { return edge_offsets_.size() - 1; }
+
+  /// Sum of hyperedge sizes (the number of (node, edge) incidences).
+  uint64_t num_pins() const { return edge_nodes_.size(); }
+
+  /// Members of hyperedge `e`, sorted ascending, within-edge duplicates
+  /// removed on ingest.
+  std::span<const NodeId> edge(EdgeId e) const {
+    return {edge_nodes_.data() + edge_offsets_[e],
+            edge_nodes_.data() + edge_offsets_[e + 1]};
+  }
+
+  /// |e| — the number of nodes in hyperedge `e`.
+  size_t edge_size(EdgeId e) const {
+    return edge_offsets_[e + 1] - edge_offsets_[e];
+  }
+
+  /// E_v — hyperedges containing node `v`, sorted ascending (arrival
+  /// order is id order).
+  std::span<const EdgeId> edges_of(NodeId v) const {
+    return {node_edges_[v].data(), node_edges_[v].size()};
+  }
+
+  /// |E_v| — the degree of node `v`.
+  size_t degree(NodeId v) const { return node_edges_[v].size(); }
+
+  /// N(e): the projected-graph neighbors of `e` with weights
+  /// w = |e ∩ ·|, sorted by edge id (same invariant as
+  /// ProjectedGraph::neighbors).
+  std::span<const Neighbor> neighbors(EdgeId e) const {
+    return {adjacency_[e].data(), adjacency_[e].size()};
+  }
+
+  /// |N(e)| — the degree of `e` in the projected graph.
+  size_t projected_degree(EdgeId e) const { return adjacency_[e].size(); }
+
+  /// |∧| — current number of hyperwedges (unordered adjacent pairs).
+  uint64_t num_wedges() const { return num_wedges_; }
+
+  /// Σ over all wedges of w (projection total weight).
+  uint64_t total_weight() const { return total_weight_; }
+
+  /// Appends a hyperedge (any member order, within-edge duplicates OK;
+  /// empty after normalization is an error) and updates every maintained
+  /// structure in O(Σ_{v∈e} |E_v| + |e|). Returns the new edge's id.
+  Result<EdgeId> AddEdge(std::span<const NodeId> nodes);
+  /// Convenience overload of AddEdge for brace-list members.
+  Result<EdgeId> AddEdge(std::initializer_list<NodeId> nodes);
+
+  /// Freezes the current state into an immutable CSR Hypergraph —
+  /// bit-equal to building the same edge sequence statically with
+  /// `dedup_edges = false`. O(graph); meant for oracles, checkpoints and
+  /// tests, not per-arrival paths.
+  Result<Hypergraph> Snapshot() const;
+
+  /// Drops all edges, nodes and counters (capacity is retained), e.g. at
+  /// a tumbling-window boundary.
+  void Clear();
+
+ private:
+  // Edge log in CSR form; append-only.
+  std::vector<uint64_t> edge_offsets_ = {0};
+  std::vector<NodeId> edge_nodes_;
+  // Growable incidence and projection adjacency.
+  std::vector<std::vector<EdgeId>> node_edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  uint64_t num_wedges_ = 0;
+  uint64_t total_weight_ = 0;
+  // AddEdge scratch: stamped |e ∩ a| accumulator (O(1) logical clears)
+  // and the normalized member buffer.
+  StampedWeights overlap_;
+  std::vector<NodeId> members_;
+  std::vector<EdgeId> touched_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_DYNAMIC_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace mochy {
 
@@ -15,10 +16,11 @@ bool IsSeparator(char c) {
 
 }  // namespace
 
-Result<Hypergraph> ParseHypergraph(const std::string& text,
-                                   const BuildOptions& options) {
-  HypergraphBuilder builder;
-  std::vector<NodeId> edge;
+Status ForEachUintLine(
+    const std::string& text,
+    const std::function<Status(size_t line_no,
+                               std::span<const uint64_t> fields)>& fn) {
+  std::vector<uint64_t> fields;
   size_t line_no = 0;
   size_t pos = 0;
   while (pos <= text.size()) {
@@ -33,7 +35,7 @@ Result<Hypergraph> ParseHypergraph(const std::string& text,
       if (end == std::string::npos) break;
       continue;
     }
-    edge.clear();
+    fields.clear();
     while (i < line_end) {
       if (IsSeparator(text[i])) {
         ++i;
@@ -45,31 +47,67 @@ Result<Hypergraph> ParseHypergraph(const std::string& text,
       }
       uint64_t value = 0;
       while (i < line_end && std::isdigit(static_cast<unsigned char>(text[i]))) {
-        value = value * 10 + static_cast<uint64_t>(text[i] - '0');
-        if (value > kInvalidNode - 1) {
+        const uint64_t digit = static_cast<uint64_t>(text[i] - '0');
+        if (value > (~uint64_t{0} - digit) / 10) {
           return Status::OutOfRange("line " + std::to_string(line_no) +
-                                    ": node id too large");
+                                    ": integer too large");
         }
+        value = value * 10 + digit;
         ++i;
       }
-      edge.push_back(static_cast<NodeId>(value));
+      fields.push_back(value);
     }
-    if (!edge.empty()) {
-      builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
-    }
+    if (Status s = fn(line_no, fields); !s.ok()) return s;
     if (end == std::string::npos) break;
   }
-  return std::move(builder).Build(options);
+  return Status::OK();
 }
 
-Result<Hypergraph> LoadHypergraph(const std::string& path,
-                                  const BuildOptions& options) {
+Result<std::string> ReadTextFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IOError("read failed for " + path);
-  return ParseHypergraph(buffer.str(), options);
+  return buffer.str();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Hypergraph> ParseHypergraph(const std::string& text,
+                                   const BuildOptions& options) {
+  HypergraphBuilder builder;
+  std::vector<NodeId> edge;
+  Status parsed = ForEachUintLine(
+      text, [&](size_t line_no, std::span<const uint64_t> fields) {
+        edge.clear();
+        for (const uint64_t value : fields) {
+          if (value > kInvalidNode - 1) {
+            return Status::OutOfRange("line " + std::to_string(line_no) +
+                                      ": node id too large");
+          }
+          edge.push_back(static_cast<NodeId>(value));
+        }
+        if (!edge.empty()) {
+          builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+        }
+        return Status::OK();
+      });
+  if (!parsed.ok()) return parsed;
+  return std::move(builder).Build(options);
+}
+
+Result<Hypergraph> LoadHypergraph(const std::string& path,
+                                  const BuildOptions& options) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return ParseHypergraph(text.value(), options);
 }
 
 std::string FormatHypergraph(const Hypergraph& graph) {
@@ -90,12 +128,7 @@ std::string FormatHypergraph(const Hypergraph& graph) {
 }
 
 Status SaveHypergraph(const Hypergraph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  const std::string text = FormatHypergraph(graph);
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteTextFile(path, FormatHypergraph(graph));
 }
 
 }  // namespace mochy

@@ -7,6 +7,9 @@
 #ifndef MOCHY_HYPERGRAPH_IO_H_
 #define MOCHY_HYPERGRAPH_IO_H_
 
+#include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 
 #include "common/status.h"
@@ -14,6 +17,24 @@
 #include "hypergraph/hypergraph.h"
 
 namespace mochy {
+
+/// Shared tokenizer for the line-oriented dataset formats (hypergraphs
+/// and temporal traces): one record per line, non-negative integer
+/// fields separated by spaces, commas, or tabs; '#'/'%' comment lines
+/// and blank lines are skipped. Invokes `fn(line_no, fields)` per data
+/// line; a field that is non-numeric or overflows uint64 is an error,
+/// range checks below 2^64 are the callback's job. Stops at (and
+/// returns) the first error.
+Status ForEachUintLine(
+    const std::string& text,
+    const std::function<Status(size_t line_no,
+                               std::span<const uint64_t> fields)>& fn);
+
+/// Reads a whole file into a string (binary mode).
+Result<std::string> ReadTextFile(const std::string& path);
+
+/// Writes `text` to `path`, truncating (binary mode).
+Status WriteTextFile(const std::string& path, const std::string& text);
 
 /// Parses a hypergraph from the text format described above.
 Result<Hypergraph> ParseHypergraph(const std::string& text,

@@ -1,0 +1,82 @@
+#include "hypergraph/temporal_trace.h"
+
+#include <cstdio>
+
+#include "hypergraph/io.h"
+
+namespace mochy {
+
+Status TemporalTrace::Validate() const {
+  uint64_t previous = 0;
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const TimedEdge& arrival = arrivals[i];
+    if (arrival.nodes.empty()) {
+      return Status::InvalidArgument("arrival " + std::to_string(i) +
+                                     " has no member nodes");
+    }
+    if (i > 0 && arrival.time < previous) {
+      return Status::InvalidArgument(
+          "arrival " + std::to_string(i) + " has time " +
+          std::to_string(arrival.time) + " before its predecessor's " +
+          std::to_string(previous));
+    }
+    previous = arrival.time;
+  }
+  return Status::OK();
+}
+
+Result<TemporalTrace> ParseTemporalTrace(const std::string& text) {
+  TemporalTrace trace;
+  Status parsed = ForEachUintLine(
+      text, [&](size_t line_no, std::span<const uint64_t> fields) {
+        if (fields.size() < 2) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": want a timestamp plus at least "
+                                         "one node id");
+        }
+        TimedEdge arrival;
+        arrival.time = fields[0];
+        arrival.nodes.reserve(fields.size() - 1);
+        for (const uint64_t value : fields.subspan(1)) {
+          if (value > kInvalidNode - 1) {
+            return Status::OutOfRange("line " + std::to_string(line_no) +
+                                      ": node id too large");
+          }
+          arrival.nodes.push_back(static_cast<NodeId>(value));
+        }
+        trace.arrivals.push_back(std::move(arrival));
+        return Status::OK();
+      });
+  if (!parsed.ok()) return parsed;
+  if (Status s = trace.Validate(); !s.ok()) return s;
+  return trace;
+}
+
+Result<TemporalTrace> LoadTemporalTrace(const std::string& path) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return ParseTemporalTrace(text.value());
+}
+
+std::string FormatTemporalTrace(const TemporalTrace& trace) {
+  std::string out;
+  char scratch[24];
+  for (const TimedEdge& arrival : trace.arrivals) {
+    int len = std::snprintf(scratch, sizeof(scratch), "%llu",
+                            static_cast<unsigned long long>(arrival.time));
+    out.append(scratch, static_cast<size_t>(len));
+    for (NodeId v : arrival.nodes) {
+      out.push_back(' ');
+      len = std::snprintf(scratch, sizeof(scratch), "%u", v);
+      out.append(scratch, static_cast<size_t>(len));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status SaveTemporalTrace(const TemporalTrace& trace, const std::string& path) {
+  return WriteTextFile(path, FormatTemporalTrace(trace));
+}
+
+}  // namespace mochy

@@ -1,0 +1,70 @@
+/// \file
+/// Temporal hyperedge arrival traces.
+///
+/// A trace is the append-only workload the streaming subsystem consumes:
+/// a sequence of hyperedges, each stamped with a nondecreasing arrival
+/// time. Traces are produced by the temporal generator
+/// (gen/temporal.h), loaded from disk, or recorded from live traffic;
+/// they are replayed by `StreamingEngine`/`ReplayTrace`
+/// (motif/streaming.h).
+///
+/// \par Text format
+/// One arrival per line: the integer timestamp followed by the member
+/// node ids, separated by spaces, commas, or tabs. Lines starting with
+/// '#' or '%' are comments. This is the hypergraph text format
+/// (hypergraph/io.h) with a leading timestamp column, matching the
+/// public temporal datasets (Benson et al., e.g. coauth-DBLP with one
+/// year column).
+#ifndef MOCHY_HYPERGRAPH_TEMPORAL_TRACE_H_
+#define MOCHY_HYPERGRAPH_TEMPORAL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/types.h"
+
+namespace mochy {
+
+/// One timestamped hyperedge arrival.
+struct TimedEdge {
+  /// Arrival time in trace units (e.g. a year, a second, a sequence
+  /// number). Only differences and window membership matter.
+  uint64_t time = 0;
+  /// Member nodes; order and duplicates are irrelevant (arrivals are
+  /// normalized on ingest, exactly like HypergraphBuilder::AddEdge).
+  std::vector<NodeId> nodes;
+};
+
+/// An append-only sequence of arrivals with nondecreasing timestamps.
+struct TemporalTrace {
+  /// The arrivals, in arrival order.
+  std::vector<TimedEdge> arrivals;
+
+  /// Number of arrivals in the trace.
+  size_t size() const { return arrivals.size(); }
+  /// Whether the trace has no arrivals.
+  bool empty() const { return arrivals.empty(); }
+
+  /// Checks that timestamps are nondecreasing and every arrival has at
+  /// least one member node.
+  Status Validate() const;
+};
+
+/// Parses a trace from the text format described in the file header.
+Result<TemporalTrace> ParseTemporalTrace(const std::string& text);
+
+/// Loads a trace from a file in the text format.
+Result<TemporalTrace> LoadTemporalTrace(const std::string& path);
+
+/// Serializes to the text format (timestamp then members, one arrival
+/// per line).
+std::string FormatTemporalTrace(const TemporalTrace& trace);
+
+/// Writes the text format to a file.
+Status SaveTemporalTrace(const TemporalTrace& trace, const std::string& path);
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_TEMPORAL_TRACE_H_

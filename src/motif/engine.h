@@ -15,7 +15,10 @@
 /// BatchRunner instead constructs one short-lived engine per item on a
 /// worker of the shared pool, so each item's projection lives only while
 /// that item is being counted and builds overlap with other items'
-/// counting.
+/// counting. For a graph that *grows* — a stream of hyperedge
+/// arrivals — the sibling StreamingEngine (motif/streaming.h) maintains
+/// the same MotifCounts incrementally, O(Δ) per arrival, instead of
+/// rebuilding the projection and recounting.
 ///
 /// \par Thread safety
 /// A fully constructed MotifEngine is immutable: Count() never mutates

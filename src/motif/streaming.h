@@ -1,0 +1,166 @@
+/// \file
+/// StreamingEngine: exact h-motif counts maintained under hyperedge
+/// arrivals.
+///
+/// The static stack (MotifEngine, motif/engine.h) answers "count this
+/// graph": it materializes the projection once, then counts in
+/// O(Σ_e |N_e|²). A service absorbing a stream of arrivals needs the
+/// complement — "keep the 26-motif count vector of the *current* graph
+/// exact after every arrival" — and recounting per arrival is O(graph)
+/// each time. StreamingEngine maintains the vector in O(Δ) per arrival
+/// instead: hyperedges are immutable once inserted, so an arriving edge
+/// `e` can only *create* motif instances (every instance it creates
+/// contains `e`, and no existing instance changes class), and the
+/// engine enumerates exactly those instances via the projected
+/// neighborhood that `DynamicHypergraph` (hypergraph/dynamic.h)
+/// maintains incrementally. The full delta-counting contract — which
+/// triples an arrival can create, why the update is exact, the
+/// per-arrival complexity — is documented in docs/STREAMING.md.
+///
+/// Counts are bit-identical to `reference::CountMotifsExact` /
+/// `MotifEngine::Count(kExact)` on a snapshot of the same edge multiset
+/// after every arrival, for every thread count
+/// (tests/streaming_test.cc). Result types are shared with the static
+/// facade: the engine returns the same `MotifCounts`, and
+/// `StreamingStats` mirrors `EngineStats`.
+///
+/// A StreamingEngine is single-writer: calls to AddEdge must be
+/// externally serialized; reads between arrivals are safe.
+#ifndef MOCHY_MOTIF_STREAMING_H_
+#define MOCHY_MOTIF_STREAMING_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/dynamic.h"
+#include "hypergraph/temporal_trace.h"
+#include "motif/counts.h"
+
+namespace mochy {
+
+/// Knobs for StreamingEngine.
+struct StreamingOptions {
+  /// Logical workers for the per-arrival delta pass (0 =
+  /// DefaultThreadCount()). The pass is parallelized over the arriving
+  /// edge's projected neighbors; arrivals with small neighborhoods run
+  /// inline regardless, so the stream's common case pays no
+  /// synchronization.
+  size_t num_threads = 1;
+
+  /// Delta passes whose estimated work (|N(e)|² plus the neighbors'
+  /// adjacency sizes) is below this run inline even when num_threads
+  /// allows more; fan-out only pays off on hub arrivals.
+  uint64_t parallel_work_threshold = 1 << 14;
+};
+
+/// Cumulative run statistics over every AddEdge so far. The streaming
+/// counterpart of EngineStats (motif/engine.h).
+struct StreamingStats {
+  uint64_t arrivals = 0;           ///< AddEdge calls accepted
+  uint64_t candidate_triples = 0;  ///< triples examined by delta passes
+  uint64_t new_instances = 0;      ///< instances added (classified != 0)
+  double elapsed_seconds = 0.0;    ///< total wall time inside AddEdge
+  size_t num_threads = 1;          ///< resolved worker budget
+  uint64_t num_wedges = 0;         ///< current |∧| of the graph
+
+  /// One-line summary (arrivals, instances, throughput).
+  std::string ToString() const;
+};
+
+/// Maintains exact 26-motif counts of an append-only hypergraph, one
+/// O(Δ) delta pass per arrival.
+class StreamingEngine {
+ public:
+  /// An engine starts empty; feed it with AddEdge (or ReplayTrace).
+  explicit StreamingEngine(const StreamingOptions& options = {});
+
+  /// Ingests one hyperedge (any member order, within-edge duplicates
+  /// OK) and updates the count vector by enumerating exactly the motif
+  /// instances the arrival creates. Returns the new edge's id.
+  Result<EdgeId> AddEdge(std::span<const NodeId> nodes);
+  /// Convenience overload of AddEdge for brace-list members.
+  Result<EdgeId> AddEdge(std::initializer_list<NodeId> nodes);
+
+  /// Exact counts of the current graph (valid between arrivals).
+  const MotifCounts& counts() const { return counts_; }
+
+  /// The maintained graph and its incremental projection.
+  const DynamicHypergraph& graph() const { return graph_; }
+
+  /// Cumulative statistics over all arrivals so far.
+  const StreamingStats& stats() const { return stats_; }
+
+  /// Drops the graph and counts but keeps options and capacity; used at
+  /// tumbling-window boundaries.
+  void Reset();
+
+ private:
+  struct DeltaCounters;
+  void CountDelta(EdgeId e);
+  void PrepareDeltaScratch(EdgeId e, ScratchArena& arena) const;
+  void CountDeltaRange(EdgeId e, size_t begin, size_t end,
+                       ScratchArena& arena, DeltaCounters& out) const;
+
+  StreamingOptions options_;
+  size_t resolved_threads_ = 1;
+  DynamicHypergraph graph_;
+  MotifCounts counts_;
+  StreamingStats stats_;
+};
+
+/// How ReplayTrace turns arrival timestamps into emitted count vectors.
+enum class WindowMode {
+  /// Counts of the cumulative graph at each window close — the evolving
+  /// network including everything that arrived so far.
+  kCumulative,
+  /// The engine resets at each window boundary: counts of each window's
+  /// own graph (e.g. one snapshot per year, the paper's Figure 7 setup).
+  kTumbling,
+};
+
+/// Per-window output of ReplayTrace.
+struct WindowResult {
+  uint64_t start_time = 0;  ///< window start (inclusive)
+  uint64_t end_time = 0;    ///< window end (exclusive)
+  uint64_t arrivals = 0;    ///< arrivals that fell into this window
+  size_t num_edges = 0;     ///< graph size at window close
+  /// Exact counts at window close (cumulative graph or window graph,
+  /// per WindowMode).
+  MotifCounts counts;
+};
+
+/// Knobs for ReplayTrace.
+struct ReplayOptions {
+  /// Per-arrival engine knobs.
+  StreamingOptions streaming;
+  /// Window width in trace time units. Window boundaries are aligned to
+  /// a grid anchored at the first arrival's timestamp; only windows
+  /// containing at least one arrival are emitted (so replay cost is
+  /// bounded by the arrival count even for sparse timestamps, e.g. Unix
+  /// seconds at width 1). During a gap the cumulative counts are those
+  /// of the last emitted window.
+  uint64_t window_width = 1;
+  /// Cumulative (default) or tumbling windows.
+  WindowMode mode = WindowMode::kCumulative;
+};
+
+/// Streams a validated trace through a StreamingEngine and emits one
+/// count vector per time window. When `observer` is non-empty it is
+/// invoked with each WindowResult as the window closes (for live
+/// consumers); the full series is also returned.
+struct ReplayResult {
+  std::vector<WindowResult> windows;  ///< one entry per window, in order
+  StreamingStats stats;               ///< aggregate engine statistics
+};
+Result<ReplayResult> ReplayTrace(
+    const TemporalTrace& trace, const ReplayOptions& options = {},
+    std::function<void(const WindowResult&)> observer = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_MOTIF_STREAMING_H_

@@ -155,6 +155,12 @@ def main() -> int:
         speedup = graph.get("exact_speedup_vs_reference", 0.0)
         print(f"{graph['name']}: exact stamped speedup {speedup:.2f}x "
               f"vs reference")
+        stream = graph.get("streaming")
+        if stream:
+            print(f"{graph['name']}: streaming {stream['arrivals_per_s']:.0f} "
+                  f"arrivals/s ({stream['mean_arrival_us']:.1f}us/arrival), "
+                  f"per-arrival speedup vs recount "
+                  f"{stream['per_arrival_speedup_vs_recount']:.0f}x")
 
     if args.baseline:
         baseline = json.loads(pathlib.Path(args.baseline).read_text())
