@@ -25,6 +25,7 @@
 #include "gen/generators.h"
 #include "hypergraph/projection.h"
 #include "motif/counts.h"
+#include "motif/engine.h"
 #include "motif/mochy_a.h"
 #include "motif/mochy_aplus.h"
 #include "motif/mochy_e.h"
@@ -83,6 +84,16 @@ struct GraphReport {
   // what maintaining exact counts on one arrival costs with a recount
   // vs. with the incremental delta pass, at this graph's size.
   double stream_speedup_vs_recount = 0.0;
+  // Memory scenario: MoCHy-A+ through the engine's lazy projection policy
+  // under a budget of 1/8 the materialized footprint; estimates verified
+  // bit-identical to the materialized kernel in-run.
+  uint64_t mem_materialized_bytes = 0;  // full ProjectedGraph footprint
+  uint64_t mem_budget_bytes = 0;        // configured memo budget
+  uint64_t mem_lazy_peak_bytes = 0;     // memo peak + wedge index
+  uint64_t mem_lazy_resident_bytes = 0; // memo resident + wedge index
+  double mem_lazy_hit_rate = 0.0;       // warm-run memo hit rate
+  uint64_t mem_lazy_recomputes = 0;     // warm-run recomputations
+  double mem_lazy_wall_ratio = 0.0;     // lazy wall / materialized a+ wall
 };
 
 /// Minimum wall time of `fn` over `repeat` runs; the first run's result is
@@ -147,6 +158,7 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
     row.samples_per_s =
         row.wall_s > 0.0 ? static_cast<double>(samples) / row.wall_s : 0.0;
     report.kernels.push_back(row);
+    return row.wall_s;
   };
 
   MotifCounts exact_stamped, exact_reference;
@@ -194,9 +206,10 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
       config.min_samples, config.max_samples);
   aplus.num_threads = config.threads;
   MotifCounts aplus_stamped, aplus_reference;
-  add_sampler("mochy-a+/stamped", aplus.num_samples, &aplus_stamped, [&] {
-    return CountMotifsWedgeSample(graph, projection, aplus);
-  });
+  const double aplus_wall =
+      add_sampler("mochy-a+/stamped", aplus.num_samples, &aplus_stamped, [&] {
+        return CountMotifsWedgeSample(graph, projection, aplus);
+      });
   add_sampler("mochy-a+/reference", aplus.num_samples, &aplus_reference, [&] {
     return reference::CountMotifsWedgeSample(graph, projection, aplus);
   });
@@ -247,6 +260,65 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
   if (mean_arrival_s > 0.0) {
     report.stream_speedup_vs_recount =
         (report.projection_s + reference_wall) / mean_arrival_s;
+  }
+
+  // Memory scenario: the same MoCHy-A+ workload through the engine's lazy
+  // projection policy, budgeted to 1/8 of the materialized footprint. The
+  // engine is built once (cold memo); repeats measure the steady state,
+  // so hit rate and wall time reflect a warm, budget-resident memo.
+  // Estimates must match the materialized kernel bit-for-bit.
+  {
+    report.mem_materialized_bytes = projection.MemoryBytes();
+    EngineOptions lazy_options;
+    lazy_options.algorithm = Algorithm::kLinkSample;
+    lazy_options.projection = ProjectionPolicy::kLazy;
+    lazy_options.num_samples = aplus.num_samples;
+    lazy_options.num_threads = config.threads;
+    lazy_options.seed = 1;  // = MochyAPlusOptions default the kernels used
+    lazy_options.memory_budget =
+        std::max<uint64_t>(1, report.mem_materialized_bytes / 8);
+    report.mem_budget_bytes = lazy_options.memory_budget;
+    const MotifEngine engine =
+        MotifEngine::Create(graph, lazy_options).value();
+    MotifCounts lazy_counts;
+    EngineStats lazy_stats;
+    KernelRow lazy_row;
+    lazy_row.kernel = "mochy-a+/lazy";
+    lazy_row.threads = config.threads;
+    lazy_row.samples = aplus.num_samples;
+    lazy_row.wall_s = MinWall(config.repeat, &lazy_counts, [&] {
+      EngineResult counted = engine.Count(lazy_options).value();
+      lazy_stats = counted.stats;
+      return counted.counts;
+    });
+    lazy_row.samples_per_s =
+        lazy_row.wall_s > 0.0
+            ? static_cast<double>(aplus.num_samples) / lazy_row.wall_s
+            : 0.0;
+    report.kernels.push_back(lazy_row);
+    if (!BitIdentical(lazy_counts, aplus_stamped)) {
+      std::fprintf(stderr, "FATAL: %s: lazy-projection MoCHy-A+ diverges "
+                           "from the materialized kernel\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    if (lazy_stats.projection_peak_bytes >= report.mem_materialized_bytes) {
+      std::fprintf(stderr, "FATAL: %s: lazy peak projection bytes (%llu) "
+                           "not below the materialized footprint (%llu)\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(
+                       lazy_stats.projection_peak_bytes),
+                   static_cast<unsigned long long>(
+                       report.mem_materialized_bytes));
+      std::exit(1);
+    }
+    report.mem_lazy_peak_bytes = lazy_stats.projection_peak_bytes;
+    report.mem_lazy_resident_bytes = lazy_stats.projection_bytes;
+    report.mem_lazy_hit_rate = lazy_stats.lazy_hit_rate;
+    report.mem_lazy_recomputes = lazy_stats.lazy_recomputes;
+    if (aplus_wall > 0.0) {
+      report.mem_lazy_wall_ratio = lazy_row.wall_s / aplus_wall;
+    }
   }
   return report;
 }
@@ -299,6 +371,21 @@ void WriteJson(const Config& config, const std::vector<GraphReport>& graphs) {
                  report.stream_wall_s, report.stream_arrivals_per_s,
                  report.stream_mean_arrival_us,
                  report.stream_speedup_vs_recount);
+    std::fprintf(out,
+                 "      \"memory\": {\"materialized_bytes\": %llu, "
+                 "\"budget_bytes\": %llu, \"lazy_peak_bytes\": %llu, "
+                 "\"lazy_resident_bytes\": %llu, \"lazy_hit_rate\": %.4f, "
+                 "\"lazy_recomputes\": %llu, "
+                 "\"lazy_vs_materialized_wall\": %.3f},\n",
+                 static_cast<unsigned long long>(
+                     report.mem_materialized_bytes),
+                 static_cast<unsigned long long>(report.mem_budget_bytes),
+                 static_cast<unsigned long long>(report.mem_lazy_peak_bytes),
+                 static_cast<unsigned long long>(
+                     report.mem_lazy_resident_bytes),
+                 report.mem_lazy_hit_rate,
+                 static_cast<unsigned long long>(report.mem_lazy_recomputes),
+                 report.mem_lazy_wall_ratio);
     std::fprintf(out, "      \"kernels\": [\n");
     for (size_t k = 0; k < report.kernels.size(); ++k) {
       const KernelRow& row = report.kernels[k];
@@ -394,11 +481,16 @@ int Main(int argc, char** argv) {
   WriteJson(config, reports);
   for (const GraphReport& report : reports) {
     std::printf("%-10s |E|=%-6zu wedges=%-8llu exact speedup %.2fx | "
-                "stream %.0f arrivals/s, per-arrival speedup %.0fx\n",
+                "stream %.0f arrivals/s, per-arrival speedup %.0fx | "
+                "lazy a+ peak %.2f/%.2fMB, hit %.0f%%, wall %.2fx\n",
                 report.name.c_str(), report.edges,
                 static_cast<unsigned long long>(report.wedges),
                 report.exact_speedup, report.stream_arrivals_per_s,
-                report.stream_speedup_vs_recount);
+                report.stream_speedup_vs_recount,
+                report.mem_lazy_peak_bytes / 1048576.0,
+                report.mem_materialized_bytes / 1048576.0,
+                report.mem_lazy_hit_rate * 100.0,
+                report.mem_lazy_wall_ratio);
   }
   std::printf("wrote %s\n", config.out.c_str());
   return 0;

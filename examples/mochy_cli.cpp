@@ -5,10 +5,18 @@
 //   mochy_cli stats   <file>                      Table 2 statistics
 //   mochy_cli count   <file> [--algorithm A] [--ratio R] [--samples N]
 //                            [--seed S] [--threads N]
+//                            [--projection materialized|lazy|auto]
+//                            [--memory-budget BYTES[K|M|G]]
 //                                                 h-motif counts/estimates
 //                                                 via the MotifEngine;
 //                                                 A = exact|edge-sample|
-//                                                     link-sample|auto
+//                                                     link-sample|auto;
+//                                                 --projection lazy samples
+//                                                 without materializing the
+//                                                 projected graph, keeping
+//                                                 memoized neighborhoods
+//                                                 within --memory-budget
+//                                                 (see docs/MEMORY.md)
 //   mochy_cli sample  <file> [flags]              alias for
 //                                                 count --algorithm link-sample
 //   mochy_cli profile <file> [--random K] [--seed S] [--threads N]
@@ -63,6 +71,8 @@ using namespace mochy;
 
 struct Flags {
   Algorithm algorithm = Algorithm::kExact;
+  ProjectionPolicy projection = ProjectionPolicy::kAuto;
+  uint64_t memory_budget = 0;  // bytes; 0 = unbounded
   double ratio = 0.05;
   uint64_t samples = 0;  // 0 = derive from --ratio
   uint64_t seed = 1;
@@ -94,6 +104,20 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
         return false;
       }
       flags->algorithm = parsed.value();
+    } else if (key == "--projection") {
+      auto parsed = ParseProjectionPolicy(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return false;
+      }
+      flags->projection = parsed.value();
+    } else if (key == "--memory-budget") {
+      auto parsed = ParseMemoryBudget(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return false;
+      }
+      flags->memory_budget = parsed.value();
     } else if (key == "--ratio") {
       flags->ratio = std::atof(value);
     } else if (key == "--samples") {
@@ -156,6 +180,8 @@ int Usage() {
                "       mochy_cli gen-trace <file> [flags]\n"
                "flags: --algorithm exact|edge-sample|link-sample|auto "
                "--ratio R --samples N --seed S --threads N (0 = all cores)\n"
+               "       count/sample: --projection materialized|lazy|auto "
+               "--memory-budget BYTES[K|M|G] (memory-bounded sampling)\n"
                "       profile: --random K --sample-ratio R --epsilon E "
                "--null chung-lu|perturb\n"
                "       stream: --window W --mode cumulative|tumbling; "
@@ -176,17 +202,19 @@ int RunStats(const Hypergraph& graph, const Flags& flags) {
 /// Both `count` and `sample` run through the engine; they differ only in
 /// the default algorithm.
 int RunEngine(const Hypergraph& graph, const Flags& flags) {
-  auto engine = MotifEngine::Create(graph, flags.threads);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    return 2;
-  }
   EngineOptions options;
   options.algorithm = flags.algorithm;
   options.num_threads = flags.threads;
   options.num_samples = flags.samples;
   options.sampling_ratio = flags.ratio;
   options.seed = flags.seed;
+  options.projection = flags.projection;
+  options.memory_budget = flags.memory_budget;
+  auto engine = MotifEngine::Create(graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 2;
+  }
   auto result = engine.value().Count(options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

@@ -59,8 +59,10 @@ int main() {
     lazy.policy = EvictionPolicy::kDegreePriority;
     LazyProjection::Stats memo_stats;
     Timer timer;
-    const MotifCounts estimate = CountMotifsWedgeSampleOnTheFly(
-        graph, degrees, sampling, lazy, &memo_stats);
+    const MotifCounts estimate =
+        CountMotifsWedgeSampleOnTheFly(graph, degrees, sampling, lazy,
+                                       &memo_stats)
+            .value();
     std::printf("%12llu %12llu %12llu %10.4f %8.3f\n",
                 static_cast<unsigned long long>(budget),
                 static_cast<unsigned long long>(memo_stats.computations),

@@ -1,37 +1,90 @@
 #include "hypergraph/lazy_projection.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace mochy {
 
-LazyProjection::LazyProjection(const Hypergraph& graph,
-                               const LazyProjectionOptions& options)
-    : graph_(graph),
-      options_(options),
-      rng_(options.seed),
-      count_(graph.num_edges(), 0) {
-  touched_.reserve(256);
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kWedgeAdmission:
+      return "wedge-admission";
+    case EvictionPolicy::kDegreePriority:
+      return "degree";
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kRandom:
+      return "random";
+  }
+  return "unknown";
 }
 
-void LazyProjection::ComputeInto(EdgeId e, std::vector<Neighbor>* out) {
-  ++stats_.computations;
-  for (NodeId v : graph_.edge(e)) {
-    for (EdgeId other : graph_.edges_of(v)) {
-      if (other == e) continue;
-      if (count_[other] == 0) touched_.push_back(other);
-      ++count_[other];
+Status ValidateLazyProjectionOptions(const LazyProjectionOptions& options) {
+  if (options.require_memoization &&
+      options.memory_budget_bytes < LazyEntryBytes(0)) {
+    return Status::InvalidArgument(
+        "lazy projection misconfigured: require_memoization is set but "
+        "memory_budget_bytes (" +
+        std::to_string(options.memory_budget_bytes) +
+        ") cannot hold even an empty entry (" +
+        std::to_string(LazyEntryBytes(0)) +
+        " bytes); raise the budget or clear require_memoization");
+  }
+  return Status::OK();
+}
+
+double LazyProjection::Stats::HitRate() const {
+  const uint64_t accesses = memo_hits + computations;
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(memo_hits) /
+                             static_cast<double>(accesses);
+}
+
+Result<LazyProjection> LazyProjection::Create(
+    const Hypergraph& graph, const LazyProjectionOptions& options,
+    const ProjectedDegrees* degrees) {
+  if (Status s = ValidateLazyProjectionOptions(options); !s.ok()) return s;
+  if (degrees != nullptr && degrees->degree.size() != graph.num_edges()) {
+    return Status::InvalidArgument(
+        "wedge index does not match the hypergraph (degrees for " +
+        std::to_string(degrees->degree.size()) + " edges, graph has " +
+        std::to_string(graph.num_edges()) + ")");
+  }
+  return LazyProjection(graph, options, degrees);
+}
+
+LazyProjection::LazyProjection(const Hypergraph& graph,
+                               const LazyProjectionOptions& options,
+                               const ProjectedDegrees* degrees)
+    : graph_(&graph),
+      degrees_(degrees),
+      options_(options),
+      rng_(options.seed),
+      builder_(std::make_unique<NeighborhoodBuilder>(graph.num_edges())) {}
+
+uint64_t LazyProjection::RankOf(EdgeId e, size_t num_neighbors) const {
+  switch (options_.policy) {
+    case EvictionPolicy::kWedgeAdmission: {
+      // Expected reuse × recompute cost. The reuse proxy is the projected
+      // degree |N_e| — under uniform hyperwedge sampling, a sample reads
+      // N_e with probability |N_e|/|∧| — taken from the wedge index when
+      // available (identical to the computed neighborhood size).
+      const uint64_t reuse = degrees_ != nullptr
+                                 ? degrees_->degree[e]
+                                 : static_cast<uint64_t>(num_neighbors);
+      MOCHY_DCHECK(degrees_ == nullptr || degrees_->degree[e] == num_neighbors);
+      return reuse * NeighborhoodBuilder::SweepCost(*graph_, e);
     }
+    case EvictionPolicy::kDegreePriority:
+      return num_neighbors;
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kRandom:
+      return 0;
   }
-  std::sort(touched_.begin(), touched_.end());
-  out->clear();
-  out->reserve(touched_.size());
-  for (EdgeId other : touched_) {
-    out->push_back(Neighbor{other, count_[other]});
-    count_[other] = 0;
-  }
-  touched_.clear();
+  return 0;
 }
 
 const std::vector<Neighbor>& LazyProjection::Neighborhood(EdgeId e) {
@@ -45,29 +98,58 @@ const std::vector<Neighbor>& LazyProjection::Neighborhood(EdgeId e) {
     }
     return it->second.neighbors;
   }
-  ComputeInto(e, &transient_);
-  if (options_.memory_budget_bytes > 0) {
-    MaybeMemoize(e, std::vector<Neighbor>(transient_));
-    auto inserted = memo_.find(e);
-    if (inserted != memo_.end()) return inserted->second.neighbors;
-  }
-  return transient_;
+  ++stats_.computations;
+  builder_->Compute(*graph_, e, &transient_);
+  Admit(e, transient_);
+  auto inserted = memo_.find(e);
+  return inserted != memo_.end() ? inserted->second.neighbors : transient_;
 }
 
-void LazyProjection::MaybeMemoize(EdgeId e, std::vector<Neighbor>&& neighbors) {
-  const uint64_t bytes = EntryBytes(neighbors.size());
+bool LazyProjection::TryGet(EdgeId e, std::vector<Neighbor>* out) {
+  auto it = memo_.find(e);
+  if (it == memo_.end()) return false;
+  if (options_.policy == EvictionPolicy::kLru) {
+    lru_order_.erase(it->second.lru_it);
+    lru_order_.push_front(e);
+    it->second.lru_it = lru_order_.begin();
+  }
+  out->assign(it->second.neighbors.begin(), it->second.neighbors.end());
+  return true;
+}
+
+void LazyProjection::Admit(EdgeId e, std::span<const Neighbor> neighbors) {
+  if (options_.memory_budget_bytes == 0) return;
+  if (memo_.find(e) != memo_.end()) return;
+  const uint64_t bytes = LazyEntryBytes(neighbors.size());
   if (bytes > options_.memory_budget_bytes) return;  // never fits
+  const uint64_t rank = RankOf(e, neighbors.size());
+
+  // Rank policies decide admission before touching the memo: the
+  // newcomer is admitted only if the strictly-lower-ranked residents
+  // free enough room (ties keep residents). Checking first avoids
+  // evicting low-ranked entries and then declining anyway — which would
+  // shrink the memo for no gain.
+  if (options_.policy == EvictionPolicy::kWedgeAdmission ||
+      options_.policy == EvictionPolicy::kDegreePriority) {
+    uint64_t reclaimable =
+        options_.memory_budget_bytes - stats_.bytes_used;  // free room
+    for (auto it = rank_order_.begin();
+         reclaimable < bytes && it != rank_order_.end() && it->first < rank;
+         ++it) {
+      reclaimable += memo_[it->second].bytes;
+    }
+    if (reclaimable < bytes) return;  // newcomer loses
+  }
 
   // Free space per policy until the new entry fits.
   while (stats_.bytes_used + bytes > options_.memory_budget_bytes) {
     MOCHY_DCHECK(!memo_.empty());
     EdgeId victim = kInvalidEdge;
     switch (options_.policy) {
+      case EvictionPolicy::kWedgeAdmission:
       case EvictionPolicy::kDegreePriority: {
-        // Keep high-degree neighborhoods: evict the lowest-degree entry,
-        // but refuse to evict entries with degree above the newcomer's.
-        const auto lowest = by_degree_.begin();
-        if (lowest->first >= neighbors.size()) return;  // newcomer loses
+        const auto lowest = rank_order_.begin();
+        MOCHY_DCHECK(lowest->first < rank);  // guaranteed by the pre-check
         victim = lowest->second;
         break;
       }
@@ -82,15 +164,16 @@ void LazyProjection::MaybeMemoize(EdgeId e, std::vector<Neighbor>&& neighbors) {
   }
 
   Entry entry;
-  entry.neighbors = std::move(neighbors);
+  entry.neighbors.assign(neighbors.begin(), neighbors.end());
   entry.bytes = bytes;
   auto [it, inserted] = memo_.emplace(e, std::move(entry));
   MOCHY_DCHECK(inserted);
   stats_.bytes_used += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_used);
   switch (options_.policy) {
+    case EvictionPolicy::kWedgeAdmission:
     case EvictionPolicy::kDegreePriority:
-      it->second.degree_it = by_degree_.emplace(
-          static_cast<uint32_t>(it->second.neighbors.size()), e);
+      it->second.rank_it = rank_order_.emplace(rank, e);
       break;
     case EvictionPolicy::kLru:
       lru_order_.push_front(e);
@@ -109,8 +192,9 @@ void LazyProjection::Evict(EdgeId victim) {
   stats_.bytes_used -= it->second.bytes;
   ++stats_.evictions;
   switch (options_.policy) {
+    case EvictionPolicy::kWedgeAdmission:
     case EvictionPolicy::kDegreePriority:
-      by_degree_.erase(it->second.degree_it);
+      rank_order_.erase(it->second.rank_it);
       break;
     case EvictionPolicy::kLru:
       lru_order_.erase(it->second.lru_it);
@@ -124,6 +208,106 @@ void LazyProjection::Evict(EdgeId victim) {
     }
   }
   memo_.erase(it);
+}
+
+Result<std::unique_ptr<ConcurrentLazyProjection>>
+ConcurrentLazyProjection::Create(const Hypergraph& graph,
+                                 const ProjectedDegrees& degrees,
+                                 const LazyProjectionOptions& options,
+                                 size_t num_shards) {
+  if (Status s = ValidateLazyProjectionOptions(options); !s.ok()) return s;
+  if (degrees.degree.size() != graph.num_edges()) {
+    return Status::InvalidArgument(
+        "wedge index does not match the hypergraph (degrees for " +
+        std::to_string(degrees.degree.size()) + " edges, graph has " +
+        std::to_string(graph.num_edges()) + ")");
+  }
+  if (num_shards == 0) {
+    // Enough shards that workers rarely collide, but never so many that a
+    // small budget is diluted below one useful slice (~64 KiB) per shard.
+    num_shards = std::min<size_t>(64, std::max<size_t>(1, DefaultThreadCount() * 2));
+    if (options.memory_budget_bytes > 0) {
+      const uint64_t slices =
+          std::max<uint64_t>(1, options.memory_budget_bytes / (64ull << 10));
+      num_shards = static_cast<size_t>(
+          std::min<uint64_t>(num_shards, slices));
+    }
+  } else if (options.require_memoization &&
+             options.memory_budget_bytes / num_shards < LazyEntryBytes(0)) {
+    // An explicit shard count must not dilute a required-memoization
+    // budget into useless slices.
+    return Status::InvalidArgument(
+        "lazy projection misconfigured: memory_budget_bytes split over " +
+        std::to_string(num_shards) + " shards leaves " +
+        std::to_string(options.memory_budget_bytes / num_shards) +
+        " bytes per shard, below one entry (" +
+        std::to_string(LazyEntryBytes(0)) + " bytes)");
+  }
+  return std::unique_ptr<ConcurrentLazyProjection>(
+      new ConcurrentLazyProjection(graph, degrees, options, num_shards));
+}
+
+ConcurrentLazyProjection::ConcurrentLazyProjection(
+    const Hypergraph& graph, const ProjectedDegrees& degrees,
+    const LazyProjectionOptions& options, size_t num_shards)
+    : graph_(&graph) {
+  LazyProjectionOptions shard_options = options;
+  // Split the budget across shards; each shard enforces its slice
+  // independently, so the sum never exceeds the configured budget.
+  shard_options.memory_budget_bytes = options.memory_budget_bytes / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_options.seed = options.seed + s;
+    shards_.push_back(std::make_unique<Shard>(
+        LazyProjection(graph, shard_options, &degrees)));
+  }
+}
+
+void ConcurrentLazyProjection::Neighborhood(
+    EdgeId e, NeighborhoodBuilder& builder, std::vector<Neighbor>* out,
+    LazyProjection::Stats* local_stats) {
+  Shard& shard = *shards_[e % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.lazy.TryGet(e, out)) {
+      ++local_stats->memo_hits;
+      return;
+    }
+  }
+  // Miss: compute outside the lock with the caller's scratch, then offer
+  // the result to the shard (a racing worker may have admitted `e`
+  // meanwhile; Admit is a no-op then).
+  builder.Compute(*graph_, e, out);
+  ++local_stats->computations;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.lazy.Admit(e, *out);
+}
+
+LazyProjection::Stats ConcurrentLazyProjection::shared_stats() const {
+  // Only the memo-side counters exist shard-side: hit/compute traffic is
+  // accounted exclusively in the callers' per-worker Stats (TryGet does
+  // not count, and the shard never sees the out-of-lock computes), so
+  // hits/computations stay 0 as documented.
+  LazyProjection::Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const LazyProjection::Stats& s = shard->lazy.stats();
+    total.bytes_used += s.bytes_used;
+    total.evictions += s.evictions;
+    total.peak_bytes += s.peak_bytes;
+  }
+  return total;
+}
+
+LazyProjection::Stats MergeLazyRunStats(
+    const ConcurrentLazyProjection& lazy,
+    std::span<const LazyProjection::Stats> local_stats) {
+  LazyProjection::Stats merged = lazy.shared_stats();
+  for (const LazyProjection::Stats& local : local_stats) {
+    merged.memo_hits += local.memo_hits;
+    merged.computations += local.computations;
+  }
+  return merged;
 }
 
 }  // namespace mochy

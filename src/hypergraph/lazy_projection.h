@@ -1,60 +1,172 @@
-// On-the-fly projected-graph computation with bounded memoization
-// (paper Section 3.4, evaluated in Figure 11).
-//
-// Instead of materializing the full projected graph (O(|E| + |∧|) space),
-// neighborhoods are computed on demand and cached within a byte budget.
-// When the budget is exhausted, an eviction policy decides what to keep;
-// the paper finds that prioritizing high-degree hyperedges beats LRU and
-// random eviction, which we reproduce as an ablation.
-//
-// Whether a neighborhood is served from the memo or recomputed, it is
-// always exact, so on-the-fly MoCHy-A+ has identical output distribution
-// to the eager version (and identical output for the same seed).
+/// \file
+/// On-the-fly projected-graph computation with budgeted memoization
+/// (paper Section 3.4, evaluated in Figure 11) — the memory-bounded
+/// alternative to materializing a full ProjectedGraph.
+///
+/// A materialized projection costs O(|E| + Σ_e |N_e|) memory; on dense
+/// hypergraphs that footprint dwarfs the input. The lazy variant instead
+/// computes hyperedge neighborhoods on demand — one stamped-counter sweep
+/// over the edge's incidence lists, exactly the `ProjectedGraph::Build`
+/// inner step — and memoizes the hottest ones within a byte budget.
+/// Whether a neighborhood is served from the memo or recomputed it is
+/// always exact, so any sampler running on a LazyProjection returns
+/// **bit-identical estimates** to the same sampler on a materialized
+/// projection (same seed, same sample count). Only the run *statistics*
+/// (hits, recomputes, bytes) depend on the memo state.
+///
+/// Two front ends share the machinery:
+///  - LazyProjection — single-threaded, returns references into the memo;
+///    the Figure-11 ablation surface (eviction policies).
+///  - ConcurrentLazyProjection — a sharded memo table for parallel
+///    samplers; workers copy neighborhoods out under a per-shard lock and
+///    keep per-thread statistics, so they never serialize on one mutex.
+///
+/// The full memory contract — what each projection policy materializes,
+/// the admission rule, byte accounting, determinism caveats — is
+/// documented in docs/MEMORY.md.
 #ifndef MOCHY_HYPERGRAPH_LAZY_PROJECTION_H_
 #define MOCHY_HYPERGRAPH_LAZY_PROJECTION_H_
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/projection.h"
 
 namespace mochy {
 
+/// Which memoized neighborhood to drop when the byte budget is exhausted
+/// (equivalently: which newcomers to admit). kWedgeAdmission is the
+/// production default; the others are retained for the Figure-11 ablation.
 enum class EvictionPolicy {
-  kDegreePriority,  ///< keep the highest projected-degree neighborhoods
-  kLru,             ///< evict the least recently used neighborhood
-  kRandom,          ///< evict a uniformly random memoized neighborhood
+  /// Admission score = expected reuse × recompute cost: |N_e| (the
+  /// wedge-index projected degree — every sampled hyperwedge incident to
+  /// e reads N_e) times the incidence-sweep cost Σ_{v∈e} d(v). Entries
+  /// with the lowest score are evicted first, and a newcomer is declined
+  /// when the cheapest resident outranks it, so the memo converges on the
+  /// hubs whose recomputation is most expensive and most frequent.
+  kWedgeAdmission,
+  /// Keep the highest projected-degree neighborhoods (the paper's
+  /// best-performing Figure-11 policy; reuse-only, ignores recompute
+  /// cost).
+  kDegreePriority,
+  /// Evict the least recently used neighborhood.
+  kLru,
+  /// Evict a uniformly random memoized neighborhood.
+  kRandom,
 };
+
+/// Stable lowercase name used in flags and reports: "wedge-admission",
+/// "degree", "lru", "random".
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+/// Default memoization budget when the caller does not set one: 256 MiB.
+/// Large enough to fully memoize every example dataset in this repo,
+/// small enough that an engine run on a huge graph stays memory-bounded
+/// instead of silently growing an unbounded cache.
+inline constexpr uint64_t kDefaultLazyMemoBudgetBytes = 256ull << 20;
 
 struct LazyProjectionOptions {
-  /// Maximum bytes of memoized neighborhoods. 0 disables memoization
-  /// entirely (every access recomputes).
-  uint64_t memory_budget_bytes = 0;
-  EvictionPolicy policy = EvictionPolicy::kDegreePriority;
+  /// Maximum bytes of memoized neighborhoods, counted per EntryBytes()
+  /// (payload + fixed bookkeeping overhead). 0 disables memoization
+  /// entirely — every access recomputes — which is a legal low-memory
+  /// mode unless `require_memoization` is set. The default is the
+  /// explicit, documented kDefaultLazyMemoBudgetBytes, NOT unbounded.
+  uint64_t memory_budget_bytes = kDefaultLazyMemoBudgetBytes;
+  /// Admission/eviction rule for the memo (see EvictionPolicy).
+  EvictionPolicy policy = EvictionPolicy::kWedgeAdmission;
   /// Seed for the kRandom policy.
   uint64_t seed = 7;
+  /// When true, a configuration whose budget cannot memoize anything —
+  /// fewer bytes than one empty entry (LazyEntryBytes(0)), including a
+  /// budget diluted to that point by an explicit shard count — is
+  /// rejected with InvalidArgument by ValidateLazyProjectionOptions() /
+  /// the Create() factories instead of silently degrading to
+  /// recompute-everything. Set it when memoization is load-bearing for
+  /// the caller's performance expectations.
+  bool require_memoization = false;
 };
 
+/// Rejects misconfigurations: `require_memoization` with a budget below
+/// one memo entry. Returns OK otherwise.
+Status ValidateLazyProjectionOptions(const LazyProjectionOptions& options);
+
+/// Bytes one memoized neighborhood of `num_neighbors` entries is
+/// accounted as: payload plus a fixed per-entry bookkeeping charge
+/// (hash-map node, policy handles). This is the unit `memory_budget_bytes`
+/// is denominated in; see docs/MEMORY.md for the full accounting model.
+inline uint64_t LazyEntryBytes(size_t num_neighbors) {
+  return num_neighbors * sizeof(Neighbor) + 64;
+}
+
+/// On-demand projected-graph neighborhoods with a budgeted memo.
+/// Single-threaded: Neighborhood() returns a reference that stays valid
+/// only until the next call. For parallel samplers use
+/// ConcurrentLazyProjection below.
 class LazyProjection {
  public:
-  LazyProjection(const Hypergraph& graph, const LazyProjectionOptions& options);
+  /// Validating factory. `degrees`, when provided, is the wedge index of
+  /// `graph` (ComputeProjectedDegrees): kWedgeAdmission then scores
+  /// entries by the indexed degree; without it the computed neighborhood
+  /// size (an identical value, known post-compute) is used. Both
+  /// referents must outlive the projection.
+  static Result<LazyProjection> Create(const Hypergraph& graph,
+                                       const LazyProjectionOptions& options,
+                                       const ProjectedDegrees* degrees =
+                                           nullptr);
+
+  /// Unvalidated construction, kept for tests and the Figure-11 ablation;
+  /// prefer Create().
+  LazyProjection(const Hypergraph& graph, const LazyProjectionOptions& options,
+                 const ProjectedDegrees* degrees = nullptr);
+
+  /// Movable (the memo may be large; copying is deliberately disabled).
+  LazyProjection(LazyProjection&&) = default;
+  /// Move-assignable.
+  LazyProjection& operator=(LazyProjection&&) = default;
 
   /// The exact weighted neighborhood of `e`, sorted by edge id. The
   /// reference stays valid until the next Neighborhood() call (it may
   /// point into transient scratch when the entry is not memoized).
   const std::vector<Neighbor>& Neighborhood(EdgeId e);
 
+  /// Memo lookup only — no compute. On a hit copies the neighborhood into
+  /// `*out`, updates LRU recency, and returns true. Hit/miss accounting
+  /// is the caller's job (exactly one accounting path exists per front
+  /// end: Neighborhood() counts internally, ConcurrentLazyProjection
+  /// counts in the caller's per-worker Stats). Building block for
+  /// ConcurrentLazyProjection, which computes misses outside the shard
+  /// lock.
+  bool TryGet(EdgeId e, std::vector<Neighbor>* out);
+
+  /// Offers a freshly computed neighborhood of `e` to the memo; the
+  /// admission/eviction policy decides whether it is kept. No-op when `e`
+  /// is already resident. Does not count as a hit or a computation.
+  void Admit(EdgeId e, std::span<const Neighbor> neighbors);
+
+  /// Counters of this projection's activity. `bytes_used`/`peak_bytes`
+  /// follow the LazyEntryBytes() accounting.
   struct Stats {
     uint64_t computations = 0;  ///< neighborhoods computed from scratch
-    uint64_t memo_hits = 0;     ///< served from the cache
+    uint64_t memo_hits = 0;     ///< served from the memo
     uint64_t evictions = 0;     ///< memoized entries dropped
-    uint64_t bytes_used = 0;    ///< current cache footprint
+    uint64_t bytes_used = 0;    ///< current memo footprint
+    uint64_t peak_bytes = 0;    ///< high-water memo footprint
+
+    /// memo_hits / (memo_hits + computations); 0 when nothing was
+    /// accessed.
+    double HitRate() const;
   };
+  /// Current statistics; hits/computations only count Neighborhood() and
+  /// TryGet() traffic on this instance.
   const Stats& stats() const { return stats_; }
 
  private:
@@ -62,38 +174,93 @@ class LazyProjection {
     std::vector<Neighbor> neighbors;
     uint64_t bytes = 0;
     // Policy bookkeeping handles.
-    std::multimap<uint32_t, EdgeId>::iterator degree_it;
+    std::multimap<uint64_t, EdgeId>::iterator rank_it;
     std::list<EdgeId>::iterator lru_it;
     size_t random_index = 0;
   };
 
-  void ComputeInto(EdgeId e, std::vector<Neighbor>* out);
-  /// Tries to insert a freshly computed neighborhood into the memo,
-  /// evicting per policy. May decline (degree policy declines to evict
-  /// higher-degree entries for a lower-degree newcomer).
-  void MaybeMemoize(EdgeId e, std::vector<Neighbor>&& neighbors);
+  /// Admission rank of a neighborhood of `e` under the active policy:
+  /// kWedgeAdmission -> reuse × recompute cost, kDegreePriority ->
+  /// degree. Higher ranks are kept longer.
+  uint64_t RankOf(EdgeId e, size_t num_neighbors) const;
   void Evict(EdgeId victim);
 
-  static uint64_t EntryBytes(size_t num_neighbors) {
-    return num_neighbors * sizeof(Neighbor) + 64;  // payload + bookkeeping
-  }
-
-  const Hypergraph& graph_;
+  const Hypergraph* graph_;
+  const ProjectedDegrees* degrees_;  // nullable wedge index
   LazyProjectionOptions options_;
   Rng rng_;
 
   std::unordered_map<EdgeId, Entry> memo_;
-  std::multimap<uint32_t, EdgeId> by_degree_;  // ascending degree
-  std::list<EdgeId> lru_order_;                // front = most recent
+  std::multimap<uint64_t, EdgeId> rank_order_;  // ascending admission rank
+  std::list<EdgeId> lru_order_;                 // front = most recent
   std::vector<EdgeId> random_pool_;
 
-  // Scratch for on-demand computation.
-  std::vector<uint32_t> count_;
-  std::vector<EdgeId> touched_;
+  std::unique_ptr<NeighborhoodBuilder> builder_;
   std::vector<Neighbor> transient_;
 
   Stats stats_;
 };
+
+/// Thread-safe lazy projection for parallel samplers: the memo is split
+/// into shards (edge id modulo shard count, each with its own mutex and
+/// budget slice), misses are computed outside any lock with the caller's
+/// NeighborhoodBuilder, and hit/recompute counters live in caller-owned
+/// per-thread Stats — concurrent workers only contend on a shard when
+/// they touch the same slice of the id space at the same moment.
+///
+/// Counts computed through this class are bit-identical to a materialized
+/// projection regardless of shard count, worker count, or interleaving
+/// (neighborhoods are always exact); the statistics are not deterministic
+/// under concurrency — see docs/MEMORY.md.
+class ConcurrentLazyProjection {
+ public:
+  /// Validating factory. `graph` and `degrees` (the wedge index used for
+  /// admission scoring and wedge sampling) must outlive the projection.
+  /// `num_shards` 0 picks a default sized to the worker count.
+  static Result<std::unique_ptr<ConcurrentLazyProjection>> Create(
+      const Hypergraph& graph, const ProjectedDegrees& degrees,
+      const LazyProjectionOptions& options, size_t num_shards = 0);
+
+  /// Copies the exact neighborhood of `e` into `*out` (sorted by id).
+  /// On a miss the neighborhood is computed with `builder` outside the
+  /// shard lock and offered to the shard's memo. `local_stats`
+  /// accumulates this caller's hits/computations; pass one per worker and
+  /// merge with shared_stats() afterwards.
+  void Neighborhood(EdgeId e, NeighborhoodBuilder& builder,
+                    std::vector<Neighbor>* out,
+                    LazyProjection::Stats* local_stats);
+
+  /// Memo-side statistics summed over shards: evictions, bytes resident,
+  /// peak bytes. Hits/computations are zero here — they live in the
+  /// per-worker Stats fed to Neighborhood().
+  LazyProjection::Stats shared_stats() const;
+
+  /// Number of memo shards.
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    LazyProjection lazy;
+    explicit Shard(LazyProjection projection) : lazy(std::move(projection)) {}
+  };
+
+  ConcurrentLazyProjection(const Hypergraph& graph,
+                           const ProjectedDegrees& degrees,
+                           const LazyProjectionOptions& options,
+                           size_t num_shards);
+
+  const Hypergraph* graph_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Merges one sampler run's lazy statistics: the memo-side counters from
+/// `lazy.shared_stats()` (evictions, bytes resident, peak) plus the
+/// summed per-worker hit/recompute counters. The one merge rule both
+/// lazy kernels (mochy_a, mochy_aplus) report through.
+LazyProjection::Stats MergeLazyRunStats(
+    const ConcurrentLazyProjection& lazy,
+    std::span<const LazyProjection::Stats> local_stats);
 
 }  // namespace mochy
 

@@ -7,43 +7,35 @@
 
 namespace mochy {
 
-namespace {
+NeighborhoodBuilder::NeighborhoodBuilder(size_t num_edges)
+    : count_(num_edges, 0) {
+  touched_.reserve(256);
+}
 
-/// Reusable scratch for accumulating one hyperedge's neighborhood: a dense
-/// counter array over edge ids plus the list of touched slots, so clearing
-/// costs O(#neighbors) rather than O(|E|).
-class NeighborhoodScratch {
- public:
-  explicit NeighborhoodScratch(size_t num_edges) : count_(num_edges, 0) {
-    touched_.reserve(256);
-  }
-
-  /// Computes the weighted neighborhood of `e` into `out` (sorted by id).
-  void Compute(const Hypergraph& graph, EdgeId e,
-               std::vector<Neighbor>* out) {
-    for (NodeId v : graph.edge(e)) {
-      for (EdgeId other : graph.edges_of(v)) {
-        if (other == e) continue;
-        if (count_[other] == 0) touched_.push_back(other);
-        ++count_[other];
-      }
+void NeighborhoodBuilder::Compute(const Hypergraph& graph, EdgeId e,
+                                  std::vector<Neighbor>* out) {
+  for (NodeId v : graph.edge(e)) {
+    for (EdgeId other : graph.edges_of(v)) {
+      if (other == e) continue;
+      if (count_[other] == 0) touched_.push_back(other);
+      ++count_[other];
     }
-    std::sort(touched_.begin(), touched_.end());
-    out->clear();
-    out->reserve(touched_.size());
-    for (EdgeId other : touched_) {
-      out->push_back(Neighbor{other, count_[other]});
-      count_[other] = 0;
-    }
-    touched_.clear();
   }
+  std::sort(touched_.begin(), touched_.end());
+  out->clear();
+  out->reserve(touched_.size());
+  for (EdgeId other : touched_) {
+    out->push_back(Neighbor{other, count_[other]});
+    count_[other] = 0;
+  }
+  touched_.clear();
+}
 
- private:
-  std::vector<uint32_t> count_;
-  std::vector<EdgeId> touched_;
-};
-
-}  // namespace
+uint64_t NeighborhoodBuilder::SweepCost(const Hypergraph& graph, EdgeId e) {
+  uint64_t cost = 0;
+  for (NodeId v : graph.edge(e)) cost += graph.edges_of(v).size();
+  return cost;
+}
 
 Result<ProjectedGraph> ProjectedGraph::Build(const Hypergraph& graph,
                                              size_t num_threads) {
@@ -58,9 +50,9 @@ Result<ProjectedGraph> ProjectedGraph::Build(const Hypergraph& graph,
   std::vector<std::vector<Neighbor>> lists(m);
   ParallelBlocks(m, num_threads,
                  [&](size_t /*thread*/, size_t begin, size_t end) {
-                   NeighborhoodScratch scratch(m);
+                   NeighborhoodBuilder builder(m);
                    for (size_t e = begin; e < end; ++e) {
-                     scratch.Compute(graph, static_cast<EdgeId>(e),
+                     builder.Compute(graph, static_cast<EdgeId>(e),
                                      &lists[e]);
                    }
                  });
@@ -108,6 +100,13 @@ Result<ProjectedGraph> ProjectedGraph::Build(const Hypergraph& graph,
   return out;
 }
 
+uint64_t ProjectedGraph::MemoryBytes() const {
+  return offsets_.size() * sizeof(uint64_t) +
+         adj_.size() * sizeof(Neighbor) +
+         wedge_offsets_.size() * sizeof(uint64_t) +
+         suffix_start_.size() * sizeof(uint32_t) + weight_map_.MemoryBytes();
+}
+
 std::pair<EdgeId, EdgeId> ProjectedGraph::WedgeAt(uint64_t k) const {
   MOCHY_DCHECK(k < num_wedges_);
   // Find the source edge via binary search over the wedge prefix sums.
@@ -153,6 +152,25 @@ ProjectedDegrees ComputeProjectedDegrees(const Hypergraph& graph,
   }
   result.num_wedges = result.wedge_prefix[m];
   return result;
+}
+
+uint64_t ProjectedDegrees::MemoryBytes() const {
+  return degree.size() * sizeof(uint32_t) +
+         wedge_prefix.size() * sizeof(uint64_t);
+}
+
+uint64_t EstimateProjectionBytes(const ProjectedDegrees& degrees) {
+  const size_t m = degrees.degree.size();
+  uint64_t adjacency = 0;
+  for (uint32_t d : degrees.degree) adjacency += d;
+  // Mirror FlatMap64's sizing: capacity is the first power of two keeping
+  // the load factor <= 7/8 for |∧| entries, doubled by the constructor.
+  uint64_t cap = 16;
+  while (cap * 7 < degrees.num_wedges * 8) cap <<= 1;
+  const uint64_t map_bytes = cap * 2 * (sizeof(uint64_t) + sizeof(uint32_t));
+  return (m + 1) * sizeof(uint64_t) * 2 +  // offsets_ + wedge_offsets_
+         m * sizeof(uint32_t) +            // suffix_start_
+         adjacency * sizeof(Neighbor) + map_bytes;
 }
 
 }  // namespace mochy

@@ -1,11 +1,19 @@
-// Projected graph of a hypergraph (paper Section 2.1, Algorithm 1).
-//
-// Hyperedges become vertices; two are adjacent iff they share a node, with
-// weight omega = |e_i ∩ e_j|. Every MoCHy variant runs on this structure.
-// Both adjacency directions are materialized (neighbor lists per edge,
-// sorted by neighbor id), hyperwedges {i, j} are indexable for uniform
-// sampling (MoCHy-A+), and an open-addressing table provides the O(1) pair
-// weight probes the MoCHy-E inner loop needs.
+/// \file
+/// Projected graph of a hypergraph (paper Section 2.1, Algorithm 1).
+///
+/// Hyperedges become vertices; two are adjacent iff they share a node,
+/// with weight omega = |e_i ∩ e_j|. Every MoCHy variant runs on this
+/// structure. Both adjacency directions are materialized (neighbor lists
+/// per edge, sorted by neighbor id), hyperwedges {i, j} are indexable for
+/// uniform sampling (MoCHy-A+), and an open-addressing table provides the
+/// O(1) pair weight probes the MoCHy-E inner loop needs.
+///
+/// Materializing all of this costs O(|E| + Σ_e |N_e|) memory
+/// (MemoryBytes() reports it exactly, EstimateProjectionBytes() predicts
+/// it from the wedge index alone); when that is too much for the machine,
+/// the sampling algorithms can instead run on the budgeted lazy variant
+/// in hypergraph/lazy_projection.h — see docs/MEMORY.md for the policy
+/// contract.
 #ifndef MOCHY_HYPERGRAPH_PROJECTION_H_
 #define MOCHY_HYPERGRAPH_PROJECTION_H_
 
@@ -26,8 +34,34 @@ struct Neighbor {
   uint32_t weight;  ///< omega = size of the pairwise intersection
 };
 
+/// Reusable scratch for computing one hyperedge's exact weighted
+/// neighborhood: a dense counter over edge ids plus the touched list, so
+/// clearing costs O(#neighbors), not O(|E|). This is the per-edge step of
+/// ProjectedGraph::Build, and the same sweep the lazy/memoized variant
+/// (hypergraph/lazy_projection.h) runs on demand. Not thread-safe; give
+/// each worker its own builder.
+class NeighborhoodBuilder {
+ public:
+  /// Sizes the counter for `num_edges` hyperedges.
+  explicit NeighborhoodBuilder(size_t num_edges);
+
+  /// Computes N(e) with weights into `out`, sorted by edge id.
+  void Compute(const Hypergraph& graph, EdgeId e, std::vector<Neighbor>* out);
+
+  /// Cost of Compute(graph, e): Σ_{v∈e} d(v) incidence entries swept.
+  static uint64_t SweepCost(const Hypergraph& graph, EdgeId e);
+
+ private:
+  std::vector<uint32_t> count_;
+  std::vector<EdgeId> touched_;
+};
+
+/// The materialized projected graph: CSR adjacency over hyperedges, the
+/// hyperwedge index, and the O(1) pair-weight table. Immutable once
+/// built; safe to share across threads.
 class ProjectedGraph {
  public:
+  /// An empty projection (no edges); assign a Build() result into it.
   ProjectedGraph() = default;
 
   /// Builds the projection of `graph` using `num_threads` workers
@@ -63,6 +97,12 @@ class ProjectedGraph {
   /// for the weighted wedge sampler).
   uint64_t total_weight() const { return total_weight_; }
 
+  /// Heap footprint in bytes of the materialized structure (CSR adjacency,
+  /// offsets, wedge index, pair-weight table). This is the number the
+  /// engine's memory-bounded projection policy compares against its byte
+  /// budget; see docs/MEMORY.md for the accounting model.
+  uint64_t MemoryBytes() const;
+
  private:
   std::vector<uint64_t> offsets_ = {0};       // CSR offsets into adj_
   std::vector<Neighbor> adj_;                 // both directions
@@ -84,9 +124,19 @@ struct ProjectedDegrees {
   /// prefix sums index the wedge set for uniform sampling without the
   /// materialized projection (on-the-fly MoCHy-A+).
   std::vector<uint64_t> wedge_prefix;
+
+  /// Heap footprint in bytes of the wedge index itself.
+  uint64_t MemoryBytes() const;
 };
 ProjectedDegrees ComputeProjectedDegrees(const Hypergraph& graph,
                                          size_t num_threads = 1);
+
+/// Predicts ProjectedGraph::Build(graph).MemoryBytes() from the wedge
+/// index alone, in O(1), without materializing anything: the adjacency is
+/// Σ_e |N_e| entries, the pair-weight table is sized from |∧| exactly as
+/// Build() sizes it. Used by the engine's kAuto projection policy to pick
+/// lazy vs. materialized against a byte budget.
+uint64_t EstimateProjectionBytes(const ProjectedDegrees& degrees);
 
 }  // namespace mochy
 

@@ -41,18 +41,21 @@ BatchItemResult RunItem(const BatchItem& item, size_t num_threads) {
     return out;
   }
 
+  // The batch scheduler owns the thread budget (see batch.h); whatever the
+  // caller put in the item's num_threads is replaced here. Projection
+  // policy and memory budget pass through per item, so one batch can mix
+  // materialized and memory-bounded lazy items.
+  EngineOptions options = item.options;
+  options.num_threads = num_threads;
+
   Timer build;
-  auto engine = MotifEngine::Create(*graph, num_threads);
+  auto engine = MotifEngine::Create(*graph, options);
   out.projection_seconds = build.Seconds();
   if (!engine.ok()) {
     out.status = engine.status();
     return out;
   }
 
-  // The batch scheduler owns the thread budget (see batch.h); whatever the
-  // caller put in the item's num_threads is replaced here.
-  EngineOptions options = item.options;
-  options.num_threads = num_threads;
   auto counted = engine.value().Count(options);
   if (!counted.ok()) {
     out.status = counted.status();

@@ -52,11 +52,15 @@ struct BatchItem {
   /// Generator for an owned input graph; empty when `graph` is set. A
   /// failed generation is reported in the item's BatchItemResult::status.
   std::function<Result<Hypergraph>()> make;
-  /// Per-item strategy, seed, sample budget, … (engine.h). The batch
-  /// scheduler owns the thread budget, so `options.num_threads` is
-  /// overridden: 1 when the batch parallelizes across items, the full
-  /// BatchOptions::num_threads budget when items run inline (single item,
-  /// single worker, or far more workers than items).
+  /// Per-item strategy, seed, sample budget, projection policy and memory
+  /// budget, … (engine.h). Projection policy and memory budget are
+  /// forwarded per item — one batch can mix materialized and
+  /// memory-bounded lazy items, and each lazy item's EngineStats carries
+  /// its hit rate and resident bytes. The batch scheduler owns the thread
+  /// budget, so `options.num_threads` is overridden: 1 when the batch
+  /// parallelizes across items, the full BatchOptions::num_threads budget
+  /// when items run inline (single item, single worker, or far more
+  /// workers than items).
   EngineOptions options;
   /// Caller-chosen tag echoed back in BatchItemResult::label.
   std::string label;

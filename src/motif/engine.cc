@@ -74,14 +74,89 @@ Result<Algorithm> ParseAlgorithm(std::string_view name) {
                                  "' (want exact|edge-sample|link-sample|auto)");
 }
 
+const char* ProjectionPolicyName(ProjectionPolicy policy) {
+  switch (policy) {
+    case ProjectionPolicy::kMaterialized:
+      return "materialized";
+    case ProjectionPolicy::kLazy:
+      return "lazy";
+    case ProjectionPolicy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<ProjectionPolicy> ParseProjectionPolicy(std::string_view name) {
+  if (name == "materialized" || name == "eager") {
+    return ProjectionPolicy::kMaterialized;
+  }
+  if (name == "lazy") return ProjectionPolicy::kLazy;
+  if (name == "auto") return ProjectionPolicy::kAuto;
+  return Status::InvalidArgument("unknown projection policy '" +
+                                 std::string(name) +
+                                 "' (want materialized|lazy|auto)");
+}
+
+Result<uint64_t> ParseMemoryBudget(std::string_view text) {
+  const auto fail = [&] {
+    return Status::InvalidArgument(
+        "cannot parse memory budget '" + std::string(text) +
+        "' (want bytes with an optional K/M/G suffix, e.g. 256M)");
+  };
+  if (text.empty()) return fail();
+  uint64_t value = 0;
+  size_t i = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') break;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return fail();  // overflow
+    value = value * 10 + digit;
+  }
+  if (i == 0) return fail();  // no digits
+  uint64_t shift = 0;
+  if (i < text.size()) {
+    switch (text[i]) {
+      case 'k':
+      case 'K':
+        shift = 10;
+        break;
+      case 'm':
+      case 'M':
+        shift = 20;
+        break;
+      case 'g':
+      case 'G':
+        shift = 30;
+        break;
+      default:
+        return fail();
+    }
+    ++i;
+    if (i < text.size() && (text[i] == 'b' || text[i] == 'B')) ++i;
+  }
+  if (i != text.size()) return fail();  // trailing junk
+  if (shift > 0 && value > (UINT64_MAX >> shift)) return fail();
+  return value << shift;
+}
+
 std::string EngineStats::ToString() const {
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer),
-                "algorithm=%s threads=%zu samples=%llu wedges=%llu "
-                "elapsed=%.3fs",
-                AlgorithmName(algorithm), num_threads,
-                static_cast<unsigned long long>(samples_used),
-                static_cast<unsigned long long>(num_wedges), elapsed_seconds);
+  char buffer[256];
+  int written = std::snprintf(
+      buffer, sizeof(buffer),
+      "algorithm=%s threads=%zu samples=%llu wedges=%llu elapsed=%.3fs",
+      AlgorithmName(algorithm), num_threads,
+      static_cast<unsigned long long>(samples_used),
+      static_cast<unsigned long long>(num_wedges), elapsed_seconds);
+  if (projection_policy == ProjectionPolicy::kLazy && written > 0 &&
+      static_cast<size_t>(written) < sizeof(buffer)) {
+    std::snprintf(buffer + written, sizeof(buffer) - written,
+                  " projection=lazy hit-rate=%.2f recomputes=%llu "
+                  "resident=%.1fMB",
+                  lazy_hit_rate,
+                  static_cast<unsigned long long>(lazy_recomputes),
+                  static_cast<double>(projection_bytes) / 1048576.0);
+  }
   return buffer;
 }
 
@@ -93,6 +168,72 @@ Result<MotifEngine> MotifEngine::Create(const Hypergraph& graph,
   return MotifEngine(graph, std::move(projection).value());
 }
 
+Result<MotifEngine> MotifEngine::Create(const Hypergraph& graph,
+                                        const EngineOptions& options) {
+  const size_t num_threads =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
+  // kAuto with no budget always materializes, so only the remaining
+  // cases pay for the wedge-index pass below.
+  if (options.projection == ProjectionPolicy::kMaterialized ||
+      (options.projection == ProjectionPolicy::kAuto &&
+       options.memory_budget == 0)) {
+    return Create(graph, num_threads);
+  }
+
+  // The lazy-vs-materialized decision needs only the wedge index — an
+  // O(|E|)-memory pass that also yields the Theorem-1 exact-cost
+  // estimate for kAuto algorithm resolution.
+  ProjectedDegrees degrees = ComputeProjectedDegrees(graph, num_threads);
+  uint64_t exact_cost = 0;
+  for (uint32_t d : degrees.degree) {
+    exact_cost += static_cast<uint64_t>(d) * d;
+  }
+  Algorithm algorithm = options.algorithm;
+  if (algorithm == Algorithm::kAuto) {
+    algorithm = (degrees.num_wedges == 0 || exact_cost <= kAutoExactCostLimit)
+                    ? Algorithm::kExact
+                    : Algorithm::kLinkSample;
+  }
+
+  // Exact counting (MoCHy-E) runs on the materialized structure only.
+  // kAuto falls back to it (the documented resolution, docs/MEMORY.md);
+  // an *explicit* kLazy request must not silently materialize behind the
+  // caller's memory budget, so it errors instead — consistently with
+  // Count()'s rejection of kExact on a lazy engine.
+  if (algorithm == Algorithm::kExact) {
+    if (options.projection == ProjectionPolicy::kLazy) {
+      return Status::InvalidArgument(
+          "ProjectionPolicy::kLazy cannot serve exact counting (MoCHy-E "
+          "needs the materialized projection, which would ignore the "
+          "memory budget); pick a sampling algorithm, or use kAuto / "
+          "kMaterialized");
+    }
+    return Create(graph, num_threads);
+  }
+
+  const uint64_t estimate = EstimateProjectionBytes(degrees);
+  const bool lazy =
+      options.projection == ProjectionPolicy::kLazy ||
+      (options.memory_budget > 0 && estimate > options.memory_budget);
+  if (!lazy) return Create(graph, num_threads);
+
+  MotifEngine engine(graph);
+  engine.materialized_ = false;
+  engine.exact_cost_ = exact_cost;
+  engine.materialized_bytes_ = estimate;
+  engine.degrees_ = std::make_unique<ProjectedDegrees>(std::move(degrees));
+  LazyProjectionOptions lazy_options;
+  lazy_options.memory_budget_bytes =
+      options.memory_budget == 0 ? UINT64_MAX : options.memory_budget;
+  auto memo = ConcurrentLazyProjection::Create(graph, *engine.degrees_,
+                                               lazy_options);
+  if (!memo.ok()) return memo.status();
+  engine.lazy_ = std::move(memo).value();
+  return engine;
+}
+
+MotifEngine::MotifEngine(const Hypergraph& graph) : graph_(&graph) {}
+
 MotifEngine::MotifEngine(const Hypergraph& graph, ProjectedGraph projection)
     : graph_(&graph), projection_(std::move(projection)) {
   MOCHY_CHECK(projection_.num_edges() == graph.num_edges())
@@ -101,11 +242,22 @@ MotifEngine::MotifEngine(const Hypergraph& graph, ProjectedGraph projection)
     const uint64_t degree = projection_.degree(e);
     exact_cost_ += degree * degree;
   }
+  materialized_bytes_ = projection_.MemoryBytes();
+}
+
+const ProjectedGraph& MotifEngine::projection() const {
+  MOCHY_CHECK(materialized_)
+      << "projection() called on a lazy engine (no materialized projection)";
+  return projection_;
+}
+
+uint64_t MotifEngine::num_wedges() const {
+  return materialized_ ? projection_.num_wedges() : degrees_->num_wedges;
 }
 
 Algorithm MotifEngine::ResolveAuto(const EngineOptions& options) const {
   if (options.algorithm != Algorithm::kAuto) return options.algorithm;
-  if (projection_.num_wedges() == 0) return Algorithm::kExact;
+  if (num_wedges() == 0) return Algorithm::kExact;
   return exact_cost_ <= kAutoExactCostLimit ? Algorithm::kExact
                                             : Algorithm::kLinkSample;
 }
@@ -120,15 +272,28 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
     return Status::InvalidArgument(
         "sampling_ratio must be positive and finite when num_samples is 0");
   }
+  if (!materialized_ && algorithm == Algorithm::kExact) {
+    return Status::InvalidArgument(
+        "exact counting (MoCHy-E) needs a materialized projection, but this "
+        "engine was created with ProjectionPolicy::kLazy; recreate it with "
+        "kMaterialized (or kAuto, which falls back for exact counting)");
+  }
+  if (!materialized_ && options.estimate_variance) {
+    return Status::InvalidArgument(
+        "estimate_variance enumerates all instances over the materialized "
+        "projection; not available on a lazy engine");
+  }
   const size_t num_threads =
       options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
 
   EngineResult result;
   result.stats.algorithm = algorithm;
   result.stats.num_threads = num_threads;
-  result.stats.num_wedges = projection_.num_wedges();
+  result.stats.num_wedges = num_wedges();
   result.stats.relative_variance = std::numeric_limits<double>::quiet_NaN();
+  result.stats.projection_policy = projection_policy();
 
+  LazyProjection::Stats lazy_stats;
   Timer timer;
   switch (algorithm) {
     case Algorithm::kExact: {
@@ -141,16 +306,30 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
       sampler.num_samples = ResolveSamples(options, graph_->num_edges());
       sampler.seed = options.seed;
       sampler.num_threads = num_threads;
-      result.counts = CountMotifsEdgeSample(*graph_, projection_, sampler);
+      if (materialized_) {
+        result.counts = CountMotifsEdgeSample(*graph_, projection_, sampler);
+      } else {
+        auto counts =
+            CountMotifsEdgeSampleLazy(*graph_, *lazy_, sampler, &lazy_stats);
+        if (!counts.ok()) return counts.status();
+        result.counts = std::move(counts).value();
+      }
       result.stats.samples_used = sampler.num_samples;
       break;
     }
     case Algorithm::kLinkSample: {
       MochyAPlusOptions sampler;
-      sampler.num_samples = ResolveSamples(options, projection_.num_wedges());
+      sampler.num_samples = ResolveSamples(options, num_wedges());
       sampler.seed = options.seed;
       sampler.num_threads = num_threads;
-      result.counts = CountMotifsWedgeSample(*graph_, projection_, sampler);
+      if (materialized_) {
+        result.counts = CountMotifsWedgeSample(*graph_, projection_, sampler);
+      } else {
+        auto counts = CountMotifsWedgeSampleLazy(*graph_, *degrees_, *lazy_,
+                                                 sampler, &lazy_stats);
+        if (!counts.ok()) return counts.status();
+        result.counts = std::move(counts).value();
+      }
       result.stats.samples_used = sampler.num_samples;
       break;
     }
@@ -158,6 +337,19 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
       return Status::Internal("kAuto survived ResolveAuto");
   }
   result.stats.elapsed_seconds = timer.Seconds();
+
+  if (materialized_) {
+    result.stats.projection_bytes = materialized_bytes_;
+    result.stats.projection_peak_bytes = materialized_bytes_;
+  } else {
+    const uint64_t index_bytes = degrees_->MemoryBytes();
+    result.stats.projection_bytes = lazy_stats.bytes_used + index_bytes;
+    result.stats.projection_peak_bytes = lazy_stats.peak_bytes + index_bytes;
+    result.stats.lazy_memo_hits = lazy_stats.memo_hits;
+    result.stats.lazy_recomputes = lazy_stats.computations;
+    result.stats.lazy_evictions = lazy_stats.evictions;
+    result.stats.lazy_hit_rate = lazy_stats.HitRate();
+  }
 
   if (options.estimate_variance && algorithm != Algorithm::kExact &&
       result.stats.samples_used > 0) {

@@ -9,8 +9,12 @@
 /// code path, and get uniform run statistics back.
 ///
 /// \par Engine lifecycle
-/// For a single graph, the projected graph is built once — at engine
-/// construction — and reused across any number of Count() calls. When
+/// For a single graph, the projection structure is set up once — at
+/// engine construction — and reused across any number of Count() calls.
+/// What that structure is depends on the ProjectionPolicy: a fully
+/// materialized ProjectedGraph (the default), or, for memory-bounded
+/// sampling on huge graphs, just the O(|E|) wedge index plus a budgeted
+/// lazy-neighborhood memo (see docs/MEMORY.md). When
 /// many graphs are counted in one go (batch mode, motif/batch.h), a
 /// BatchRunner instead constructs one short-lived engine per item on a
 /// worker of the shared pool, so each item's projection lives only while
@@ -41,11 +45,13 @@
 #define MOCHY_MOTIF_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 #include "hypergraph/hypergraph.h"
+#include "hypergraph/lazy_projection.h"
 #include "hypergraph/projection.h"
 #include "motif/counts.h"
 
@@ -66,6 +72,41 @@ const char* AlgorithmName(Algorithm algorithm);
 /// Inverse of AlgorithmName; also accepts the paper aliases "mochy-e",
 /// "mochy-a", "mochy-a+". Errors on anything else.
 Result<Algorithm> ParseAlgorithm(std::string_view name);
+
+/// How the engine provides hyperedge neighborhoods to the counting
+/// kernels — the memory/speed trade-off of paper Section 3.4. The full
+/// memory contract is docs/MEMORY.md.
+enum class ProjectionPolicy {
+  /// Build the full ProjectedGraph at Create() time: O(|E| + Σ|N_e|)
+  /// memory, fastest counting, required by kExact (MoCHy-E).
+  kMaterialized,
+  /// Never materialize: only the O(|E|) wedge index is precomputed, and
+  /// the sampling kernels fetch neighborhoods on demand through a
+  /// budgeted, sharded memo (ConcurrentLazyProjection). Estimates are
+  /// bit-identical to kMaterialized for the same seed; only statistics
+  /// differ. Exact counting is rejected — at Create() when the requested
+  /// algorithm resolves to kExact, and at Count() on a lazy engine —
+  /// never silently materialized behind the budget.
+  kLazy,
+  /// Materialize unless the estimated materialized footprint
+  /// (EstimateProjectionBytes) exceeds EngineOptions::memory_budget (and
+  /// the resolved algorithm is a sampler) — then go lazy. With no budget
+  /// (0 = unbounded), always materializes.
+  kAuto,
+};
+
+/// Short stable name used in flags and reports: "materialized", "lazy",
+/// "auto".
+const char* ProjectionPolicyName(ProjectionPolicy policy);
+
+/// Inverse of ProjectionPolicyName; also accepts the alias "eager" for
+/// kMaterialized. Errors on anything else.
+Result<ProjectionPolicy> ParseProjectionPolicy(std::string_view name);
+
+/// Parses a byte count with an optional K/M/G (binary, case-insensitive,
+/// optional trailing B) suffix: "268435456", "256M", "1g", "64KB".
+/// Errors on anything else; plain "0" is legal (= unbounded budget).
+Result<uint64_t> ParseMemoryBudget(std::string_view text);
 
 /// Per-run knobs for MotifEngine::Count.
 struct EngineOptions {
@@ -96,8 +137,24 @@ struct EngineOptions {
   /// When true, also evaluates the closed-form estimator variance
   /// (motif/variance, Theorems 2 and 4) and reports the mean relative
   /// variance in EngineStats. Requires enumerating all instances — O(I^2)
-  /// pair terms — so this is for small graphs / tests only.
+  /// pair terms — so this is for small graphs / tests only. Requires a
+  /// materialized projection.
   bool estimate_variance = false;
+
+  /// Projection construction policy, read by Create(graph, options):
+  /// materialize the projected graph, serve neighborhoods lazily within
+  /// `memory_budget`, or pick automatically from the estimated footprint.
+  /// Estimates are bit-identical across policies for the same seed;
+  /// see docs/MEMORY.md for the contract.
+  ProjectionPolicy projection = ProjectionPolicy::kAuto;
+
+  /// Byte budget for projection structure (the unit ParseMemoryBudget
+  /// parses). 0 means unbounded: kAuto then always materializes, and
+  /// kLazy memoizes without evicting. When positive, kAuto goes lazy as
+  /// soon as the estimated materialized footprint exceeds the budget, and
+  /// the lazy memo keeps its resident bytes within the budget via the
+  /// wedge-admission policy (hypergraph/lazy_projection.h).
+  uint64_t memory_budget = 0;
 };
 
 /// Uniform run statistics, filled for every algorithm.
@@ -111,6 +168,29 @@ struct EngineStats {
   /// Var[estimate_t] / count_t^2; 0 for exact counting, NaN when
   /// estimate_variance was not requested.
   double relative_variance = 0.0;
+
+  /// Projection policy the engine actually ran with (kAuto resolved).
+  ProjectionPolicy projection_policy = ProjectionPolicy::kMaterialized;
+  /// Bytes of projection structure resident when the run finished:
+  /// the full materialized footprint, or (lazy) memoized neighborhoods
+  /// plus the wedge index.
+  uint64_t projection_bytes = 0;
+  /// High-water projection footprint over the engine's lifetime. Equals
+  /// projection_bytes for materialized engines; for lazy engines it is
+  /// the summed per-shard memo peak plus the wedge index, which never
+  /// exceeds memory_budget + index.
+  uint64_t projection_peak_bytes = 0;
+  /// Lazy path only: neighborhoods served from the memo during this run.
+  uint64_t lazy_memo_hits = 0;
+  /// Lazy path only: neighborhoods recomputed from the hypergraph.
+  uint64_t lazy_recomputes = 0;
+  /// Lazy path only: memoized entries dropped (cumulative over the
+  /// engine's lifetime — the memo persists across Count() calls).
+  uint64_t lazy_evictions = 0;
+  /// lazy_memo_hits / (lazy_memo_hits + lazy_recomputes); 0 when the run
+  /// was materialized or touched no neighborhoods. Not deterministic
+  /// under concurrency (counts are; see docs/MEMORY.md).
+  double lazy_hit_rate = 0.0;
 
   std::string ToString() const;
 };
@@ -128,11 +208,31 @@ struct EngineResult {
 /// graphs in one call, see BatchRunner in motif/batch.h.
 class MotifEngine {
  public:
-  /// Builds the projected graph of `graph` with `num_threads` workers
-  /// (0 = DefaultThreadCount()) and wraps both. `graph` must outlive the
-  /// engine; Count() never mutates it, so one engine can serve many calls.
+  /// Builds the full projected graph of `graph` with `num_threads`
+  /// workers (0 = DefaultThreadCount()) and wraps both — i.e. always
+  /// ProjectionPolicy::kMaterialized. `graph` must outlive the engine;
+  /// Count() never mutates it, so one engine can serve many calls.
   static Result<MotifEngine> Create(const Hypergraph& graph,
                                     size_t num_threads = 0);
+
+  /// Policy-aware construction: resolves `options.projection` against
+  /// `options.memory_budget` and `options.algorithm`. Exact counting
+  /// needs the materialized projection, so kAuto falls back to it; an
+  /// *explicit* kLazy request combined with a (resolved) kExact
+  /// algorithm is rejected with InvalidArgument rather than silently
+  /// materializing behind the caller's budget. A lazy engine precomputes
+  /// only the O(|E|) wedge index and serves neighborhoods through a
+  /// sharded, budgeted memo. Count() calls that later demand what the
+  /// resolved policy cannot provide (exact counting or variance
+  /// estimation on a lazy engine) are rejected with InvalidArgument.
+  ///
+  /// Cost note: kAuto with a budget (and kLazy) pays one wedge-index
+  /// sweep — the same incidence pass a projection build runs, without
+  /// materializing — to make the decision; when kAuto then materializes
+  /// anyway, setup costs roughly one extra such sweep over plain
+  /// kMaterialized. Pass kMaterialized when you already know it fits.
+  static Result<MotifEngine> Create(const Hypergraph& graph,
+                                    const EngineOptions& options);
 
   /// Wraps an already-built projection (must match `graph`).
   MotifEngine(const Hypergraph& graph, ProjectedGraph projection);
@@ -144,21 +244,41 @@ class MotifEngine {
 
   /// Counts (kExact) or estimates (sampling strategies) all 26 h-motif
   /// instance counts. Thread-safe: concurrent Count() calls on one engine
-  /// are fine, the engine state is read-only.
+  /// are fine — the engine state is read-only except the lazy memo, which
+  /// is internally synchronized (and never affects counts, only stats).
   Result<EngineResult> Count(const EngineOptions& options = {}) const;
 
   /// The wrapped hypergraph.
   const Hypergraph& graph() const { return *graph_; }
-  /// The projection built for (or handed to) this engine.
-  const ProjectedGraph& projection() const { return projection_; }
+  /// The materialized projection. Must not be called on a lazy engine
+  /// (check materialized() first); a lazy engine has none by design.
+  const ProjectedGraph& projection() const;
+  /// Whether this engine holds a full ProjectedGraph (true) or serves
+  /// neighborhoods lazily (false).
+  bool materialized() const { return materialized_; }
+  /// The projection policy this engine resolved to at Create() time.
+  ProjectionPolicy projection_policy() const {
+    return materialized_ ? ProjectionPolicy::kMaterialized
+                         : ProjectionPolicy::kLazy;
+  }
+  /// |∧| of the input, regardless of policy.
+  uint64_t num_wedges() const;
 
   /// The strategy kAuto resolves to for this input under `options`.
   Algorithm ResolveAuto(const EngineOptions& options) const;
 
  private:
+  explicit MotifEngine(const Hypergraph& graph);
+
   const Hypergraph* graph_;  // not owned
-  ProjectedGraph projection_;
+  ProjectedGraph projection_;  // empty on lazy engines
+  // Lazy-engine state: the wedge index (address-stable across engine
+  // moves — the memo shards point into it) and the sharded memo.
+  std::unique_ptr<ProjectedDegrees> degrees_;
+  std::unique_ptr<ConcurrentLazyProjection> lazy_;
+  bool materialized_ = true;
   uint64_t exact_cost_ = 0;  // Σ_e |N_e|² — MoCHy-E work estimate (Thm 1)
+  uint64_t materialized_bytes_ = 0;  // actual, or (lazy) the estimate
 };
 
 }  // namespace mochy

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "hypergraph/hypergraph.h"
+#include "hypergraph/lazy_projection.h"
 #include "hypergraph/projection.h"
 #include "motif/counts.h"
 
@@ -24,10 +25,24 @@ struct MochyAOptions {
   size_t num_threads = 1;
 };
 
-/// Unbiased estimates of all 26 motif counts via hyperedge sampling.
+/// Unbiased estimates of all 26 motif counts via hyperedge sampling over
+/// a materialized projection.
 MotifCounts CountMotifsEdgeSample(const Hypergraph& graph,
                                   const ProjectedGraph& projection,
                                   const MochyAOptions& options);
+
+/// Memory-bounded MoCHy-A — the engine's ProjectionPolicy::kLazy path.
+/// No materialized projection: the sampled hyperedge's neighborhood and
+/// every 2-hop neighborhood are fetched through the sharded `lazy` memo,
+/// in parallel. Estimates are bit-identical to CountMotifsEdgeSample over
+/// the materialized projection of the same graph, for the same seed,
+/// sample count, and any thread count. `stats_out`, when set, receives
+/// the per-worker hit/recompute counters merged with the memo-side
+/// byte/eviction counters.
+Result<MotifCounts> CountMotifsEdgeSampleLazy(
+    const Hypergraph& graph, ConcurrentLazyProjection& lazy,
+    const MochyAOptions& options,
+    LazyProjection::Stats* stats_out = nullptr);
 
 }  // namespace mochy
 

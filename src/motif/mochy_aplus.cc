@@ -118,19 +118,108 @@ MotifCounts CountMotifsWedgeSample(const Hypergraph& graph,
   return total;
 }
 
-MotifCounts CountMotifsWedgeSampleOnTheFly(
+namespace {
+
+/// Maps the uniform wedge index `k` to its wedge (e_i within-suffix rank):
+/// binary search of the wedge prefix sums. The `within`-th neighbor of
+/// e_i with id > e_i — a suffix of the sorted neighborhood, identical to
+/// ProjectedGraph::WedgeAt on the materialized structure — completes the
+/// pick once the neighborhood is in hand.
+std::pair<EdgeId, uint64_t> PickWedgeSource(const ProjectedDegrees& degrees,
+                                            uint64_t k) {
+  const auto it = std::upper_bound(degrees.wedge_prefix.begin(),
+                                   degrees.wedge_prefix.end(), k);
+  const size_t e = static_cast<size_t>(it - degrees.wedge_prefix.begin()) - 1;
+  return {static_cast<EdgeId>(e), k - degrees.wedge_prefix[e]};
+}
+
+/// The `within`-th neighbor of `ei` with id > ei in the sorted
+/// neighborhood `nbrs`.
+const Neighbor& PickWedgeTarget(std::span<const Neighbor> nbrs, EdgeId ei,
+                                uint64_t within) {
+  const auto suffix = std::upper_bound(
+      nbrs.begin(), nbrs.end(), ei,
+      [](EdgeId lhs, const Neighbor& rhs) { return lhs < rhs.edge; });
+  return *(suffix + static_cast<int64_t>(within));
+}
+
+Status CheckWedgeIndex(const Hypergraph& graph,
+                       const ProjectedDegrees& degrees) {
+  if (degrees.wedge_prefix.size() != graph.num_edges() + 1) {
+    return Status::InvalidArgument(
+        "wedge index does not match the hypergraph (prefix for " +
+        std::to_string(degrees.wedge_prefix.size()) + " entries, graph has " +
+        std::to_string(graph.num_edges()) + " edges)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MotifCounts> CountMotifsWedgeSampleLazy(
+    const Hypergraph& graph, const ProjectedDegrees& degrees,
+    ConcurrentLazyProjection& lazy, const MochyAPlusOptions& options,
+    LazyProjection::Stats* stats_out) {
+  if (Status s = CheckWedgeIndex(graph, degrees); !s.ok()) return s;
+  const size_t m = graph.num_edges();
+  MotifCounts total;
+  const uint64_t wedges = degrees.num_wedges;
+  if (stats_out != nullptr) *stats_out = lazy.shared_stats();
+  if (m == 0 || wedges == 0 || options.num_samples == 0) return total;
+
+  size_t num_threads =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
+  if (num_threads > options.num_samples) {
+    num_threads = static_cast<size_t>(options.num_samples);
+  }
+  const std::vector<uint32_t> size_of = internal::HoistEdgeSizes(graph);
+  std::vector<MotifCounts> partial(num_threads);
+  std::vector<LazyProjection::Stats> local_stats(num_threads);
+  const Rng base(options.seed);
+
+  auto worker = [&](size_t thread) {
+    ScratchArena& arena = LocalScratchArena();
+    arena.EnsureEdges(m);
+    arena.EnsureNodes(graph.num_nodes());
+    NeighborhoodBuilder builder(m);
+    // Copies: memo references cannot cross the shard lock, and another
+    // worker's eviction could invalidate them anyway.
+    std::vector<Neighbor> nbrs_i, nbrs_j;
+    for (uint64_t n = thread; n < options.num_samples; n += num_threads) {
+      Rng rng = base.Fork(n);
+      const uint64_t k = rng.UniformInt(wedges);
+      const auto [ei, within] = PickWedgeSource(degrees, k);
+      lazy.Neighborhood(ei, builder, &nbrs_i, &local_stats[thread]);
+      const Neighbor picked = PickWedgeTarget(nbrs_i, ei, within);
+      lazy.Neighborhood(picked.edge, builder, &nbrs_j, &local_stats[thread]);
+      ProcessWedge(graph, ei, picked.edge, picked.weight,
+                   std::span<const Neighbor>(nbrs_i.data(), nbrs_i.size()),
+                   std::span<const Neighbor>(nbrs_j.data(), nbrs_j.size()),
+                   size_of.data(), arena, partial[thread]);
+    }
+  };
+  ParallelWorkers(num_threads, worker);
+
+  for (const MotifCounts& part : partial) total += part;
+  RescaleWedgeEstimates(wedges, options.num_samples, &total);
+  if (stats_out != nullptr) *stats_out = MergeLazyRunStats(lazy, local_stats);
+  return total;
+}
+
+Result<MotifCounts> CountMotifsWedgeSampleOnTheFly(
     const Hypergraph& graph, const ProjectedDegrees& degrees,
     const MochyAPlusOptions& options,
     const LazyProjectionOptions& lazy_options,
     LazyProjection::Stats* stats_out) {
+  if (Status s = CheckWedgeIndex(graph, degrees); !s.ok()) return s;
+  auto lazy = LazyProjection::Create(graph, lazy_options, &degrees);
+  if (!lazy.ok()) return lazy.status();
   const size_t m = graph.num_edges();
   MotifCounts total;
   const uint64_t wedges = degrees.num_wedges;
-  MOCHY_CHECK(degrees.wedge_prefix.size() == m + 1)
-      << "degrees not computed for this hypergraph";
+  if (stats_out != nullptr) *stats_out = lazy.value().stats();
   if (m == 0 || wedges == 0 || options.num_samples == 0) return total;
 
-  LazyProjection lazy(graph, lazy_options);
   const std::vector<uint32_t> size_of = internal::HoistEdgeSizes(graph);
   ScratchArena& arena = LocalScratchArena();
   arena.EnsureEdges(m);
@@ -140,32 +229,21 @@ MotifCounts CountMotifsWedgeSampleOnTheFly(
   for (uint64_t n = 0; n < options.num_samples; ++n) {
     Rng rng = base.Fork(n);
     const uint64_t k = rng.UniformInt(wedges);
-    // Map the wedge index to (e_i, e_j): binary search the prefix sums,
-    // then pick the `within`-th neighbor with id > e_i (a suffix of the
-    // sorted neighborhood).
-    const auto it = std::upper_bound(degrees.wedge_prefix.begin(),
-                                     degrees.wedge_prefix.end(), k);
-    const size_t e = static_cast<size_t>(it - degrees.wedge_prefix.begin()) - 1;
-    const uint64_t within = k - degrees.wedge_prefix[e];
-    const EdgeId ei = static_cast<EdgeId>(e);
+    const auto [ei, within] = PickWedgeSource(degrees, k);
     {
-      const std::vector<Neighbor>& ref = lazy.Neighborhood(ei);
+      const std::vector<Neighbor>& ref = lazy.value().Neighborhood(ei);
       nbrs_i.assign(ref.begin(), ref.end());
     }
-    const auto suffix = std::upper_bound(
-        nbrs_i.begin(), nbrs_i.end(), ei,
-        [](EdgeId lhs, const Neighbor& rhs) { return lhs < rhs.edge; });
-    const Neighbor& picked = *(suffix + static_cast<int64_t>(within));
-    const EdgeId ej = picked.edge;
-    const uint64_t w_ij = picked.weight;
-    const std::vector<Neighbor>& nbrs_j = lazy.Neighborhood(ej);
-    ProcessWedge(graph, ei, ej, w_ij,
+    const Neighbor picked = PickWedgeTarget(nbrs_i, ei, within);
+    const std::vector<Neighbor>& nbrs_j =
+        lazy.value().Neighborhood(picked.edge);
+    ProcessWedge(graph, ei, picked.edge, picked.weight,
                  std::span<const Neighbor>(nbrs_i.data(), nbrs_i.size()),
                  std::span<const Neighbor>(nbrs_j.data(), nbrs_j.size()),
                  size_of.data(), arena, total);
   }
   RescaleWedgeEstimates(wedges, options.num_samples, &total);
-  if (stats_out != nullptr) *stats_out = lazy.stats();
+  if (stats_out != nullptr) *stats_out = lazy.value().stats();
   return total;
 }
 

@@ -33,13 +33,31 @@ MotifCounts CountMotifsWedgeSample(const Hypergraph& graph,
                                    const ProjectedGraph& projection,
                                    const MochyAPlusOptions& options);
 
-/// On-the-fly MoCHy-A+: no materialized projection. Hyperedge
-/// neighborhoods are computed on demand through a LazyProjection with the
-/// given memoization budget and eviction policy; only the per-edge wedge
-/// index (O(|E|) memory) is precomputed. Single-threaded (the memo is the
-/// experiment variable here, see Figure 11). Identical estimates to the
-/// eager version for the same seed and sample count.
-MotifCounts CountMotifsWedgeSampleOnTheFly(
+/// Memory-bounded MoCHy-A+ — the engine's ProjectionPolicy::kLazy path.
+/// No materialized projection: wedges are drawn through `degrees` (the
+/// wedge index) and neighborhoods fetched through the sharded `lazy`
+/// memo, in parallel. Estimates are bit-identical to
+/// CountMotifsWedgeSample over the materialized projection of the same
+/// graph, for the same seed, sample count, and any thread count; only
+/// the statistics depend on the memo. `stats_out`, when set, receives the
+/// per-worker hit/recompute counters merged with the memo-side
+/// byte/eviction counters. Errors when `degrees` does not match `graph`.
+Result<MotifCounts> CountMotifsWedgeSampleLazy(
+    const Hypergraph& graph, const ProjectedDegrees& degrees,
+    ConcurrentLazyProjection& lazy, const MochyAPlusOptions& options,
+    LazyProjection::Stats* stats_out = nullptr);
+
+/// On-the-fly MoCHy-A+ with a private single-threaded memo: the raw
+/// Figure-11 experiment surface, where the memoization budget and
+/// eviction policy are the variables under study. `lazy_options` is
+/// validated (ValidateLazyProjectionOptions — a require_memoization
+/// configuration with a zero-byte budget is InvalidArgument, not a silent
+/// degrade to recompute-everything) and defaults to the documented
+/// kDefaultLazyMemoBudgetBytes budget, NOT to unbounded memoization.
+/// Identical estimates to the eager version for the same seed and sample
+/// count. Engine callers should prefer ProjectionPolicy::kLazy, which
+/// shares the memo across threads and surfaces stats in EngineStats.
+Result<MotifCounts> CountMotifsWedgeSampleOnTheFly(
     const Hypergraph& graph, const ProjectedDegrees& degrees,
     const MochyAPlusOptions& options,
     const LazyProjectionOptions& lazy_options,

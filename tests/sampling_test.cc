@@ -173,7 +173,7 @@ TEST_P(OnTheFlyEquivalence, MatchesEagerForAnyBudgetAndPolicy) {
   lazy.memory_budget_bytes = budget;
   lazy.policy = policy;
   const MotifCounts fly =
-      CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options, lazy);
+      CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options, lazy).value();
   for (int t = 1; t <= kNumHMotifs; ++t) {
     EXPECT_DOUBLE_EQ(eager[t], fly[t]) << "motif " << t;
   }
@@ -181,7 +181,8 @@ TEST_P(OnTheFlyEquivalence, MatchesEagerForAnyBudgetAndPolicy) {
 
 INSTANTIATE_TEST_SUITE_P(
     BudgetsAndPolicies, OnTheFlyEquivalence,
-    ::testing::Combine(::testing::Values(EvictionPolicy::kDegreePriority,
+    ::testing::Combine(::testing::Values(EvictionPolicy::kWedgeAdmission,
+                                         EvictionPolicy::kDegreePriority,
                                          EvictionPolicy::kLru,
                                          EvictionPolicy::kRandom),
                        ::testing::Values<uint64_t>(0, 512, 4096, 1 << 20)));
@@ -196,14 +197,16 @@ TEST(OnTheFlyTest, MemoizationReducesComputations) {
   LazyProjectionOptions no_memo;
   no_memo.memory_budget_bytes = 0;
   LazyProjection::Stats stats_none;
-  CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options, no_memo,
-                                 &stats_none);
+  ASSERT_TRUE(CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options,
+                                             no_memo, &stats_none)
+                  .ok());
 
   LazyProjectionOptions big_memo;
   big_memo.memory_budget_bytes = 16 << 20;
   LazyProjection::Stats stats_big;
-  CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options, big_memo,
-                                 &stats_big);
+  ASSERT_TRUE(CountMotifsWedgeSampleOnTheFly(f.graph, degrees, options,
+                                             big_memo, &stats_big)
+                  .ok());
 
   EXPECT_EQ(stats_none.memo_hits, 0u);
   EXPECT_GT(stats_big.memo_hits, 0u);

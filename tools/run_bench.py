@@ -161,6 +161,16 @@ def main() -> int:
                   f"arrivals/s ({stream['mean_arrival_us']:.1f}us/arrival), "
                   f"per-arrival speedup vs recount "
                   f"{stream['per_arrival_speedup_vs_recount']:.0f}x")
+        memory = graph.get("memory")
+        if memory:
+            mib = 1024 * 1024
+            print(f"{graph['name']}: lazy a+ peak "
+                  f"{memory['lazy_peak_bytes'] / mib:.2f}MiB vs materialized "
+                  f"{memory['materialized_bytes'] / mib:.2f}MiB "
+                  f"(budget {memory['budget_bytes'] / mib:.2f}MiB), "
+                  f"hit rate {memory['lazy_hit_rate'] * 100:.0f}%, "
+                  f"wall {memory['lazy_vs_materialized_wall']:.2f}x "
+                  f"of materialized")
 
     if args.baseline:
         baseline = json.loads(pathlib.Path(args.baseline).read_text())
