@@ -18,6 +18,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -31,6 +33,8 @@
 #include "motif/mochy_e.h"
 #include "motif/reference.h"
 #include "motif/streaming.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 
 namespace mochy::bench {
 namespace {
@@ -94,6 +98,17 @@ struct GraphReport {
   double mem_lazy_hit_rate = 0.0;       // warm-run memo hit rate
   uint64_t mem_lazy_recomputes = 0;     // warm-run recomputations
   double mem_lazy_wall_ratio = 0.0;     // lazy wall / materialized a+ wall
+  // Serving scenario: a deterministic mixed count/profile workload driven
+  // through MotifServer::HandleRequest in-process (no sockets, so the
+  // numbers measure the serving layer, not the kernel or the transport).
+  // Served counts are verified bit-identical to the direct kernel runs
+  // above — both on the cold round and on the cached rounds.
+  uint64_t serve_queries = 0;
+  double serve_wall_s = 0.0;
+  double serve_queries_per_s = 0.0;
+  double serve_hit_rate = 0.0;  // result-cache hit rate over the workload
+  double serve_p50_us = 0.0;    // per-query latency percentiles
+  double serve_p99_us = 0.0;
 };
 
 /// Minimum wall time of `fn` over `repeat` runs; the first run's result is
@@ -320,6 +335,92 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
       report.mem_lazy_wall_ratio = lazy_row.wall_s / aplus_wall;
     }
   }
+
+  // Serving scenario: the graph loaded into a MotifServer, then a mixed
+  // workload of distinct count/profile queries replayed for several
+  // rounds — round 0 is all cache misses, later rounds all hits, so the
+  // workload exercises both sides of the result cache. Every count
+  // response (cold and cached) is decoded and compared bit-for-bit
+  // against the direct kernel runs above.
+  {
+    MotifServer server{ServeOptions{}};
+    if (Status s = server.LoadGraph(name, graph); !s.ok()) {
+      std::fprintf(stderr, "FATAL: %s: serve load failed: %s\n", name.c_str(),
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+    const std::string threads = std::to_string(config.threads);
+    const std::vector<std::pair<std::string, const MotifCounts*>> queries = {
+        {"count " + name + " algorithm=exact threads=" + threads,
+         &exact_stamped},
+        {"count " + name + " algorithm=edge-sample samples=" +
+             std::to_string(a.num_samples) + " seed=1 threads=" + threads,
+         &a_stamped},
+        {"count " + name + " algorithm=link-sample samples=" +
+             std::to_string(aplus.num_samples) + " seed=1 threads=" + threads,
+         &aplus_stamped},
+        {"count " + name + " algorithm=link-sample samples=" +
+             std::to_string(aplus.num_samples) + " seed=7 threads=" + threads,
+         nullptr},
+        {"profile " + name + " random=2 seed=1 ratio=0.1 threads=" + threads,
+         nullptr},
+    };
+    constexpr int kRounds = 4;
+    std::vector<double> latencies;
+    latencies.reserve(queries.size() * kRounds);
+    Timer serve_timer;
+    for (int round = 0; round < kRounds; ++round) {
+      for (const auto& [request, expected] : queries) {
+        Timer query_timer;
+        const std::string response = server.HandleRequest(request);
+        latencies.push_back(query_timer.Seconds());
+        if (response.rfind("ok ", 0) != 0) {
+          std::fprintf(stderr, "FATAL: %s: serve query failed: %s\n",
+                       name.c_str(), response.c_str());
+          std::exit(1);
+        }
+        if (expected == nullptr) continue;
+        MotifCounts served;
+        bool decoded = false;
+        for (const std::string_view line : SplitLines(response)) {
+          if (line.rfind("counts ", 0) == 0) {
+            auto counts = DecodeCounts(line.substr(7));
+            if (counts.ok()) {
+              served = counts.value();
+              decoded = true;
+            }
+          }
+        }
+        if (!decoded || !BitIdentical(served, *expected)) {
+          std::fprintf(stderr, "FATAL: %s: served counts diverge from the "
+                               "direct kernel run (%s round %d)\n",
+                       name.c_str(), round == 0 ? "cold" : "cached", round);
+          std::exit(1);
+        }
+      }
+    }
+    const double serve_wall = serve_timer.Seconds();
+    const ServerStats stats = server.stats();
+    report.serve_queries = latencies.size();
+    report.serve_wall_s = serve_wall;
+    report.serve_queries_per_s =
+        serve_wall > 0.0 ? static_cast<double>(latencies.size()) / serve_wall
+                         : 0.0;
+    report.serve_hit_rate = stats.cache.HitRate();
+    std::sort(latencies.begin(), latencies.end());
+    report.serve_p50_us = latencies[latencies.size() / 2] * 1e6;
+    report.serve_p99_us =
+        latencies[std::min(latencies.size() - 1, latencies.size() * 99 / 100)] *
+        1e6;
+
+    KernelRow serve_row;
+    serve_row.kernel = "serve/mixed";
+    serve_row.threads = config.threads;
+    serve_row.samples = latencies.size();
+    serve_row.wall_s = serve_wall;
+    serve_row.samples_per_s = report.serve_queries_per_s;
+    report.kernels.push_back(serve_row);
+  }
   return report;
 }
 
@@ -386,6 +487,14 @@ void WriteJson(const Config& config, const std::vector<GraphReport>& graphs) {
                  report.mem_lazy_hit_rate,
                  static_cast<unsigned long long>(report.mem_lazy_recomputes),
                  report.mem_lazy_wall_ratio);
+    std::fprintf(out,
+                 "      \"serving\": {\"queries\": %llu, \"wall_s\": %.6f, "
+                 "\"queries_per_s\": %.1f, \"hit_rate\": %.4f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f},\n",
+                 static_cast<unsigned long long>(report.serve_queries),
+                 report.serve_wall_s, report.serve_queries_per_s,
+                 report.serve_hit_rate, report.serve_p50_us,
+                 report.serve_p99_us);
     std::fprintf(out, "      \"kernels\": [\n");
     for (size_t k = 0; k < report.kernels.size(); ++k) {
       const KernelRow& row = report.kernels[k];
@@ -482,7 +591,8 @@ int Main(int argc, char** argv) {
   for (const GraphReport& report : reports) {
     std::printf("%-10s |E|=%-6zu wedges=%-8llu exact speedup %.2fx | "
                 "stream %.0f arrivals/s, per-arrival speedup %.0fx | "
-                "lazy a+ peak %.2f/%.2fMB, hit %.0f%%, wall %.2fx\n",
+                "lazy a+ peak %.2f/%.2fMB, hit %.0f%%, wall %.2fx | "
+                "serve %.0f q/s, hit %.0f%%, p99 %.0fus\n",
                 report.name.c_str(), report.edges,
                 static_cast<unsigned long long>(report.wedges),
                 report.exact_speedup, report.stream_arrivals_per_s,
@@ -490,7 +600,9 @@ int Main(int argc, char** argv) {
                 report.mem_lazy_peak_bytes / 1048576.0,
                 report.mem_materialized_bytes / 1048576.0,
                 report.mem_lazy_hit_rate * 100.0,
-                report.mem_lazy_wall_ratio);
+                report.mem_lazy_wall_ratio,
+                report.serve_queries_per_s, report.serve_hit_rate * 100.0,
+                report.serve_p99_us);
   }
   std::printf("wrote %s\n", config.out.c_str());
   return 0;

@@ -46,6 +46,32 @@
 //   mochy_cli gen-trace <file> [--years N] [--scale X] [--seed S]
 //                                                 write a temporal
 //                                                 co-authorship trace
+//   mochy_cli serve   [--socket PATH | --port N] [--cache-budget BYTES[K|M|G]]
+//                     [--load NAME=FILE ...]
+//                                                 run the resident MotifServer
+//                                                 (src/serve/): loaded graphs
+//                                                 stay in memory, queries are
+//                                                 answered through a
+//                                                 byte-budgeted result cache;
+//                                                 blocks until a shutdown
+//                                                 query arrives
+//   mochy_cli query <action> [args] --socket PATH | --port N
+//                                                 one query against a running
+//                                                 server; actions:
+//                                                   count <name> [count flags]
+//                                                   profile <name> [profile
+//                                                                   flags]
+//                                                   similarity <name1> <name2>
+//                                                              [profile flags]
+//                                                   load <name> <file>
+//                                                   stats
+//                                                   shutdown
+//                                                 count/profile output is
+//                                                 formatted exactly like the
+//                                                 offline commands (served
+//                                                 counts are bit-identical),
+//                                                 plus a trailing
+//                                                 "cached: yes|no" line
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on I/O or data errors.
 #include <algorithm>
@@ -54,7 +80,11 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/parse.h"
 #include "gen/generators.h"
 #include "gen/temporal.h"
 #include "hypergraph/io.h"
@@ -64,6 +94,9 @@
 #include "motif/enumerate.h"
 #include "motif/streaming.h"
 #include "profile/significance.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -86,9 +119,22 @@ struct Flags {
   uint64_t window = 1;
   WindowMode mode = WindowMode::kCumulative;
   size_t years = 33;
+  // serve/query
+  std::string socket;                // unix-domain socket path
+  int port = 0;                      // loopback TCP port (when no socket)
+  uint64_t cache_budget = 64ull << 20;
+  std::vector<std::pair<std::string, std::string>> loads;  // name -> file
 };
 
-/// Parses trailing --key value flags; returns false on unknown flags.
+/// Prints "<flag>: <error>" and returns false (ParseFlags's failure path).
+bool BadFlag(const std::string& key, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", key.c_str(), status.ToString().c_str());
+  return false;
+}
+
+/// Parses trailing --key value flags; returns false on unknown flags and
+/// on values that fail validation (junk, wrong sign, out of range —
+/// common/parse.h semantics; nothing is silently coerced to 0).
 bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
   for (int i = first; i < argc; i += 2) {
     const std::string key = argv[i];
@@ -99,39 +145,45 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
     const char* value = argv[i + 1];
     if (key == "--algorithm") {
       auto parsed = ParseAlgorithm(value);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
-        return false;
-      }
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
       flags->algorithm = parsed.value();
     } else if (key == "--projection") {
       auto parsed = ParseProjectionPolicy(value);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
-        return false;
-      }
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
       flags->projection = parsed.value();
     } else if (key == "--memory-budget") {
       auto parsed = ParseMemoryBudget(value);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
-        return false;
-      }
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
       flags->memory_budget = parsed.value();
     } else if (key == "--ratio") {
-      flags->ratio = std::atof(value);
+      auto parsed = ParsePositiveDouble(value, "--ratio");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->ratio = parsed.value();
     } else if (key == "--samples") {
-      flags->samples = static_cast<uint64_t>(std::atoll(value));
+      auto parsed = ParseUint64(value);
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->samples = parsed.value();
     } else if (key == "--seed") {
-      flags->seed = static_cast<uint64_t>(std::atoll(value));
+      auto parsed = ParseUint64(value);
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->seed = parsed.value();
     } else if (key == "--threads") {
-      flags->threads = static_cast<size_t>(std::atoll(value));
+      auto parsed = ParseUint64InRange(value, 0, 4096, "--threads");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->threads = static_cast<size_t>(parsed.value());
     } else if (key == "--random") {
-      flags->random_graphs = std::atoi(value);
+      auto parsed = ParseUint64InRange(value, 1, 100000, "--random");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->random_graphs = static_cast<int>(parsed.value());
     } else if (key == "--sample-ratio") {
-      flags->sample_ratio = std::atof(value);
+      // Any finite value: < 0 selects exact counting.
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->sample_ratio = parsed.value();
     } else if (key == "--epsilon") {
-      flags->epsilon = std::atof(value);
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->epsilon = parsed.value();
     } else if (key == "--null") {
       const std::string model = value;
       if (model == "chung-lu") {
@@ -144,11 +196,17 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
         return false;
       }
     } else if (key == "--limit") {
-      flags->limit = static_cast<size_t>(std::atoll(value));
+      auto parsed = ParseUint64(value);
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->limit = static_cast<size_t>(parsed.value());
     } else if (key == "--scale") {
-      flags->scale = std::atof(value);
+      auto parsed = ParsePositiveDouble(value, "--scale");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->scale = parsed.value();
     } else if (key == "--window") {
-      flags->window = static_cast<uint64_t>(std::atoll(value));
+      auto parsed = ParseUint64InRange(value, 1, UINT64_MAX, "--window");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->window = parsed.value();
     } else if (key == "--mode") {
       const std::string mode = value;
       if (mode == "cumulative") {
@@ -161,7 +219,27 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
         return false;
       }
     } else if (key == "--years") {
-      flags->years = static_cast<size_t>(std::atoll(value));
+      auto parsed = ParseUint64InRange(value, 1, 1000, "--years");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->years = static_cast<size_t>(parsed.value());
+    } else if (key == "--socket") {
+      flags->socket = value;
+    } else if (key == "--port") {
+      auto parsed = ParseUint64InRange(value, 1, 65535, "--port");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->port = static_cast<int>(parsed.value());
+    } else if (key == "--cache-budget") {
+      auto parsed = ParseMemoryBudget(value);
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->cache_budget = parsed.value();
+    } else if (key == "--load") {
+      const std::string spec = value;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "--load wants NAME=FILE, got '%s'\n", value);
+        return false;
+      }
+      flags->loads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", key.c_str());
       return false;
@@ -178,6 +256,11 @@ int Usage() {
                " <file> [flags]\n"
                "       mochy_cli stream <trace-file> [flags]\n"
                "       mochy_cli gen-trace <file> [flags]\n"
+               "       mochy_cli serve [--socket PATH | --port N] "
+               "[--cache-budget B] [--load NAME=FILE ...]\n"
+               "       mochy_cli query "
+               "<count|profile|similarity|load|stats|shutdown> [args] "
+               "--socket PATH | --port N\n"
                "flags: --algorithm exact|edge-sample|link-sample|auto "
                "--ratio R --samples N --seed S --threads N (0 = all cores)\n"
                "       count/sample: --projection materialized|lazy|auto "
@@ -228,6 +311,24 @@ int RunEngine(const Hypergraph& graph, const Flags& flags) {
   return 0;
 }
 
+/// The Δ/CP/RC/RD table shared by the offline profile command and the
+/// query-mode printer (which re-derives the rows from served counts with
+/// the same pure functions, so both print bit-identical tables).
+void PrintProfileTable(const MotifCounts& real, const MotifCounts& random_mean,
+                       double epsilon) {
+  const ProfileVector delta = ComputeSignificance(real, random_mean, epsilon);
+  const ProfileVector cp = NormalizeProfile(delta);
+  const ProfileVector rc = RelativeCounts(real, random_mean);
+  const std::array<int, kNumHMotifs> rd = RankDifference(real, random_mean);
+  std::printf("%7s %12s %12s %8s %8s %8s %4s\n", "h-motif", "real", "random",
+              "delta", "CP", "RC", "RD");
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    std::printf("%7d %12.4g %12.4g %+8.3f %+8.3f %+8.3f %4d\n", t,
+                real[t], random_mean[t], delta[t - 1], cp[t - 1], rc[t - 1],
+                rd[t - 1]);
+  }
+}
+
 int RunProfile(const Hypergraph& graph, const Flags& flags) {
   CharacteristicProfileOptions options;
   options.num_random_graphs = flags.random_graphs;
@@ -242,14 +343,7 @@ int RunProfile(const Hypergraph& graph, const Flags& flags) {
     return 2;
   }
   const CharacteristicProfile& p = profile.value();
-  std::printf("%7s %12s %12s %8s %8s %8s %4s\n", "h-motif", "real", "random",
-              "delta", "CP", "RC", "RD");
-  for (int t = 1; t <= kNumHMotifs; ++t) {
-    std::printf("%7d %12.4g %12.4g %+8.3f %+8.3f %+8.3f %4d\n", t,
-                p.real_counts[t], p.random_mean[t], p.delta[t - 1],
-                p.cp[t - 1], p.relative_counts[t - 1],
-                p.rank_difference[t - 1]);
-  }
+  PrintProfileTable(p.real_counts, p.random_mean, flags.epsilon);
   std::printf("batch: %s\n", p.batch.ToString().c_str());
   return 0;
 }
@@ -360,13 +454,200 @@ int RunGenTrace(const char* path, const Flags& flags) {
   return 0;
 }
 
+int RunServe(const Flags& flags) {
+  if (flags.socket.empty() && flags.port == 0) {
+    std::fprintf(stderr, "serve: need --socket PATH or --port N\n");
+    return 1;
+  }
+  ServeOptions options;
+  options.socket_path = flags.socket;
+  options.port = flags.port;
+  options.cache_budget = flags.cache_budget;
+  MotifServer server(options);
+  for (const auto& [name, path] : flags.loads) {
+    if (Status s = server.LoadGraphFile(name, path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("loaded %s from %s\n", name.c_str(), path.c_str());
+  }
+  if (!flags.socket.empty()) {
+    std::printf("serving on unix socket %s\n", flags.socket.c_str());
+  } else {
+    std::printf("serving on 127.0.0.1:%d\n", flags.port);
+  }
+  // The CI smoke job backgrounds this process and waits for the line
+  // above before querying.
+  std::fflush(stdout);
+  if (Status s = server.Serve(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  const ServerStats stats = server.stats();
+  std::printf("server stopped\n%s", stats.ToString().c_str());
+  return 0;
+}
+
+/// Builds the wire request for a query action; count/profile options are
+/// taken from the same flags the offline commands use, doubles encoded as
+/// exact hex-float literals so the server parses the identical value.
+std::string BuildQueryRequest(const std::string& action, char** argv,
+                              const Flags& flags) {
+  if (action == "stats" || action == "shutdown") return action;
+  if (action == "load") {
+    return std::string("load ") + argv[3] + " " + argv[4];
+  }
+  std::string request = action + " " + argv[3];
+  if (action == "similarity") request += std::string(" ") + argv[4];
+  if (action == "count") {
+    request += std::string(" algorithm=") + AlgorithmName(flags.algorithm);
+    if (flags.samples > 0) request += " samples=" + std::to_string(flags.samples);
+    request += " ratio=" + EncodeDouble(flags.ratio);
+    request += " seed=" + std::to_string(flags.seed);
+  } else {  // profile | similarity
+    request += " random=" + std::to_string(flags.random_graphs);
+    request += " seed=" + std::to_string(flags.seed);
+    request += " ratio=" + EncodeDouble(flags.sample_ratio);
+    request += " epsilon=" + EncodeDouble(flags.epsilon);
+    request += flags.null_model == NullModel::kChungLu ? " null=chung-lu"
+                                                       : " null=perturb";
+  }
+  request += " threads=" + std::to_string(flags.threads);
+  return request;
+}
+
+/// First header token whose key matches, or "" ("ok kind=count cached=1").
+std::string_view HeaderValue(const std::vector<std::string_view>& header,
+                             std::string_view key) {
+  for (const std::string_view token : header) {
+    if (token.size() > key.size() + 1 && token.substr(0, key.size()) == key &&
+        token[key.size()] == '=') {
+      return token.substr(key.size() + 1);
+    }
+  }
+  return {};
+}
+
+/// Renders a response payload in the offline commands' output format
+/// (count/profile bodies decode back into MotifCounts, so the h-motif
+/// lines diff clean against `mochy_cli count` — CI relies on this),
+/// with a trailing "cached:" line. Returns the process exit code.
+int PrintQueryResponse(const std::string& payload) {
+  const std::vector<std::string_view> lines = SplitLines(payload);
+  const std::vector<std::string_view> header =
+      lines.empty() ? std::vector<std::string_view>{}
+                    : SplitTokens(lines.front());
+  if (header.empty() || header.front() != "ok") {
+    std::fprintf(stderr, "%s", payload.c_str());
+    return 2;
+  }
+  const std::string_view kind = HeaderValue(header, "kind");
+  const char* cached =
+      HeaderValue(header, "cached") == "1" ? "yes" : "no";
+
+  auto body_value = [&lines](std::string_view tag) -> std::string_view {
+    for (size_t i = 1; i < lines.size(); ++i) {
+      if (lines[i].size() > tag.size() + 1 &&
+          lines[i].substr(0, tag.size()) == tag &&
+          lines[i][tag.size()] == ' ') {
+        return lines[i].substr(tag.size() + 1);
+      }
+    }
+    return {};
+  };
+
+  if (kind == "count") {
+    auto counts = DecodeCounts(body_value("counts"));
+    if (!counts.ok()) {
+      std::fprintf(stderr, "%s\n", counts.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%.*s\n", static_cast<int>(body_value("stats").size()),
+                body_value("stats").data());
+    std::printf("%s", counts.value().ToString().c_str());
+    std::printf("total: %.0f (open %.0f, closed %.0f)\n",
+                counts.value().Total(), counts.value().TotalOpen(),
+                counts.value().TotalClosed());
+    std::printf("cached: %s\n", cached);
+    return 0;
+  }
+  if (kind == "profile") {
+    auto real = DecodeCounts(body_value("real"));
+    auto random_mean = DecodeCounts(body_value("random"));
+    auto epsilon = DecodeDouble(body_value("epsilon"));
+    if (!real.ok() || !random_mean.ok() || !epsilon.ok()) {
+      std::fprintf(stderr, "malformed profile response\n%s", payload.c_str());
+      return 2;
+    }
+    PrintProfileTable(real.value(), random_mean.value(), epsilon.value());
+    std::printf("batch: %.*s\n", static_cast<int>(body_value("batch").size()),
+                body_value("batch").data());
+    std::printf("cached: %s\n", cached);
+    return 0;
+  }
+  if (kind == "similarity") {
+    auto pearson = DecodeDouble(body_value("pearson"));
+    if (!pearson.ok()) {
+      std::fprintf(stderr, "malformed similarity response\n%s",
+                   payload.c_str());
+      return 2;
+    }
+    std::printf("pearson: %.6f\n", pearson.value());
+    std::printf("cached: %s\n", cached);
+    return 0;
+  }
+  // load / stats / shutdown: the payload is already human-readable.
+  std::printf("%s", payload.c_str());
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string action = argv[2];
+  int positionals;
+  if (action == "count" || action == "profile") {
+    positionals = 1;
+  } else if (action == "similarity" || action == "load") {
+    positionals = 2;
+  } else if (action == "stats" || action == "shutdown") {
+    positionals = 0;
+  } else {
+    std::fprintf(stderr, "unknown query action '%s'\n", action.c_str());
+    return Usage();
+  }
+  if (argc < 3 + positionals) return Usage();
+  Flags flags;
+  if (!ParseFlags(argc, argv, 3 + positionals, &flags)) return Usage();
+  if (flags.socket.empty() && flags.port == 0) {
+    std::fprintf(stderr, "query: need --socket PATH or --port N\n");
+    return 1;
+  }
+  MotifClient client(flags.socket, flags.port);
+  if (Status s = client.Connect(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  auto response = client.Request(BuildQueryRequest(action, argv, flags));
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 2;
+  }
+  return PrintQueryResponse(response.value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags;
 
+  if (command == "serve") {
+    if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
+    return RunServe(flags);
+  }
+  if (command == "query") return RunQuery(argc, argv);
+  if (argc < 3) return Usage();
   if (command == "generate") {
     if (argc < 4 || !ParseFlags(argc, argv, 4, &flags)) return Usage();
     return RunGenerate(argv[2], argv[3], flags);

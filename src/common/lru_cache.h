@@ -1,0 +1,142 @@
+/// \file
+/// Byte-budgeted LRU cache for serving-layer results.
+///
+/// The serve layer (src/serve/) answers repeated queries from a result
+/// cache keyed by (graph fingerprint, canonicalized EngineOptions); this
+/// is the storage behind it. The contract follows the memory vocabulary
+/// of docs/MEMORY.md (admission / residency / eviction, byte-denominated
+/// budget — the unit ParseMemoryBudget parses):
+///
+/// - **Residency**: entries are charged their key + value bytes plus a
+///   fixed per-entry overhead; the summed charge never exceeds the
+///   budget.
+/// - **Admission**: an entry whose own charge exceeds the whole budget is
+///   rejected outright (counted in `admission_rejects`) — one oversized
+///   result must not flush the entire cache.
+/// - **Eviction**: admitting an entry evicts least-recently-used entries
+///   until the new entry fits. Get() refreshes recency.
+///
+/// \par Thread safety
+/// All methods are safe to call concurrently (one internal mutex). The
+/// cache stores values by copy; Get() returns a copy, so no reference
+/// escapes the lock.
+#ifndef MOCHY_COMMON_LRU_CACHE_H_
+#define MOCHY_COMMON_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace mochy {
+
+/// Counters describing cache effectiveness; returned by
+/// BudgetedLruCache::stats() as one consistent snapshot.
+struct LruCacheStats {
+  uint64_t hits = 0;               ///< Get() calls that found the key
+  uint64_t misses = 0;             ///< Get() calls that did not
+  uint64_t insertions = 0;         ///< entries admitted by Put()
+  uint64_t evictions = 0;          ///< entries evicted to make room
+  uint64_t admission_rejects = 0;  ///< Put() calls rejected (entry > budget)
+  uint64_t resident_bytes = 0;     ///< summed charge of resident entries
+  uint64_t budget_bytes = 0;       ///< configured budget
+  size_t entries = 0;              ///< resident entry count
+
+  /// hits / (hits + misses); 0 when no Get() has been served.
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// String-keyed, string-valued LRU map bounded by a byte budget. The
+/// serve layer stores serialized response payloads, which keeps the
+/// byte accounting exact (no guessing at heap shapes of structured
+/// values) and makes a cache hit a plain memcpy onto the wire.
+class BudgetedLruCache {
+ public:
+  /// Fixed per-entry bookkeeping charge (list + map node estimate), on
+  /// top of the key and value bytes themselves.
+  static constexpr uint64_t kEntryOverheadBytes = 64;
+
+  /// A zero budget disables the cache: every Put() is an admission
+  /// reject, every Get() a miss.
+  explicit BudgetedLruCache(uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  BudgetedLruCache(const BudgetedLruCache&) = delete;
+  BudgetedLruCache& operator=(const BudgetedLruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullopt.
+  std::optional<std::string> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->value;
+  }
+
+  /// Admits (or refreshes) `key` -> `value`, evicting LRU entries until
+  /// it fits. Returns false when the entry alone exceeds the budget (the
+  /// admission reject); an existing entry under `key` is replaced either
+  /// way (removed even on reject, so a stale value never outlives a
+  /// newer, uncacheably large one).
+  bool Put(const std::string& key, std::string value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = index_.find(key); it != index_.end()) {
+      stats_.resident_bytes -= it->second->charge;
+      entries_.erase(it->second);
+      index_.erase(it);
+    }
+    const uint64_t charge = key.size() + value.size() + kEntryOverheadBytes;
+    if (charge > budget_bytes_) {
+      ++stats_.admission_rejects;
+      return false;
+    }
+    while (stats_.resident_bytes + charge > budget_bytes_) {
+      const Entry& victim = entries_.back();
+      stats_.resident_bytes -= victim.charge;
+      index_.erase(victim.key);
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+    entries_.push_front(Entry{key, std::move(value), charge});
+    index_[key] = entries_.begin();
+    stats_.resident_bytes += charge;
+    ++stats_.insertions;
+    return true;
+  }
+
+  /// One consistent snapshot of the counters.
+  LruCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LruCacheStats snapshot = stats_;
+    snapshot.budget_bytes = budget_bytes_;
+    snapshot.entries = index_.size();
+    return snapshot;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    uint64_t charge = 0;
+  };
+
+  const uint64_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  LruCacheStats stats_;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_LRU_CACHE_H_

@@ -1,0 +1,102 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace mochy {
+
+namespace {
+
+Status BadNumber(std::string_view text, const char* want) {
+  return Status::InvalidArgument("cannot parse '" + std::string(text) +
+                                 "' (want " + want + ")");
+}
+
+}  // namespace
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  if (text.empty()) return BadNumber(text, "a non-negative integer");
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return BadNumber(text, "a non-negative integer");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return BadNumber(text, "a non-negative integer <= 2^64-1");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint64InRange(std::string_view text, uint64_t min_value,
+                                    uint64_t max_value,
+                                    std::string_view what) {
+  auto parsed = ParseUint64(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   parsed.status().message());
+  }
+  const uint64_t value = parsed.value();
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        std::string(what) + ": " + std::string(text) + " is out of range [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  const bool negative = !text.empty() && text.front() == '-';
+  auto digits = ParseUint64(negative ? text.substr(1) : text);
+  if (!digits.ok()) return BadNumber(text, "an integer");
+  const uint64_t magnitude = digits.value();
+  if (negative) {
+    // |INT64_MIN| = 2^63 is representable; anything larger is not.
+    if (magnitude > (1ULL << 63)) return BadNumber(text, "a 64-bit integer");
+    return static_cast<int64_t>(-magnitude);
+  }
+  if (magnitude > static_cast<uint64_t>(INT64_MAX)) {
+    return BadNumber(text, "a 64-bit integer");
+  }
+  return static_cast<int64_t>(magnitude);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return BadNumber(text, "a finite number");
+  // strtod accepts leading whitespace, "nan", "inf" and hex floats; the
+  // whitespace and non-finite forms are rejected below, hex floats are
+  // deliberately kept (the serve protocol round-trips doubles as %a).
+  if (std::isspace(static_cast<unsigned char>(text.front()))) {
+    return BadNumber(text, "a finite number");
+  }
+  const std::string copy(text);  // strtod needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return BadNumber(text, "a finite number");
+  }
+  return value;
+}
+
+Result<double> ParsePositiveDouble(std::string_view text,
+                                   std::string_view what) {
+  auto parsed = ParseDouble(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   parsed.status().message());
+  }
+  if (!(parsed.value() > 0.0)) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   std::string(text) + " must be > 0");
+  }
+  return parsed.value();
+}
+
+}  // namespace mochy

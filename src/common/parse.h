@@ -1,0 +1,46 @@
+/// \file
+/// Validating numeric parsers for command-line flags and wire requests.
+///
+/// The C `atoi`/`atof` family silently maps junk to 0 and lets negatives
+/// wrap through unsigned conversions ("--threads -1" becoming a huge
+/// size_t). Every parser here consumes the WHOLE input or fails: junk,
+/// trailing garbage, signs on unsigned values, overflow and (for doubles)
+/// NaN/infinity all return InvalidArgument with the offending text, so
+/// callers can surface a usage error instead of running with a silently
+/// mangled value. Used by mochy_cli and the serve-layer request decoder.
+#ifndef MOCHY_COMMON_PARSE_H_
+#define MOCHY_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mochy {
+
+/// Parses a non-negative decimal integer ("0", "42"). No sign, no
+/// whitespace, no hex/octal, whole string only. Errors on empty input,
+/// junk, a leading '-' or '+', and overflow past UINT64_MAX.
+Result<uint64_t> ParseUint64(std::string_view text);
+
+/// ParseUint64 plus an inclusive range check; `what` names the flag in
+/// the error message (e.g. "--threads").
+Result<uint64_t> ParseUint64InRange(std::string_view text, uint64_t min_value,
+                                    uint64_t max_value, std::string_view what);
+
+/// Parses a decimal integer with an optional leading '-'. Whole string
+/// only; errors on junk and on values outside [INT64_MIN, INT64_MAX].
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a finite double ("0.5", "-1", "1e-3"). Whole string only;
+/// errors on junk, trailing garbage, NaN, infinity and empty input.
+Result<double> ParseDouble(std::string_view text);
+
+/// ParseDouble plus a strict positivity check (> 0); `what` names the
+/// flag in the error message.
+Result<double> ParsePositiveDouble(std::string_view text,
+                                   std::string_view what);
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_PARSE_H_

@@ -1,0 +1,18 @@
+#include "hypergraph/fingerprint.h"
+
+#include "common/hash.h"
+
+namespace mochy {
+
+uint64_t GraphFingerprint(const Hypergraph& graph) {
+  uint64_t h = Mix64(0x6d6f6368794670ULL);  // "mochyFp"
+  h = HashCombine(h, Mix64(graph.num_nodes()));
+  h = HashCombine(h, Mix64(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto span = graph.edge(e);
+    h = HashCombine(h, HashIdSpan(span.data(), span.size()));
+  }
+  return Mix64(h);
+}
+
+}  // namespace mochy

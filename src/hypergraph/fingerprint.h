@@ -1,0 +1,32 @@
+/// \file
+/// Content fingerprint of a hypergraph, for cache keys and registries.
+///
+/// The serve layer (src/serve/) keys its result cache by (graph
+/// fingerprint, canonicalized EngineOptions): two graphs with the same
+/// fingerprint are treated as the same input, so the fingerprint must be
+/// a function of the COUNTING-RELEVANT content only — the node count and
+/// the exact edge multiset in storage order — and of nothing incidental
+/// (load path, build timestamps, projection state).
+///
+/// \par Determinism
+/// A pure function of the CSR content: the same graph bytes yield the
+/// same fingerprint in every process, on every run. Edge order matters
+/// (the engine's sampling streams are edge-id-indexed, so two edge
+/// orderings are genuinely different cacheable inputs).
+#ifndef MOCHY_HYPERGRAPH_FINGERPRINT_H_
+#define MOCHY_HYPERGRAPH_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mochy {
+
+/// 64-bit content hash over (num_nodes, num_edges, every edge span in id
+/// order). O(pins) single pass; ~40ns/edge, negligible next to a
+/// projection build, so callers fingerprint at load time and reuse.
+uint64_t GraphFingerprint(const Hypergraph& graph);
+
+}  // namespace mochy
+
+#endif  // MOCHY_HYPERGRAPH_FINGERPRINT_H_

@@ -262,6 +262,46 @@ Algorithm MotifEngine::ResolveAuto(const EngineOptions& options) const {
                                             : Algorithm::kLinkSample;
 }
 
+EngineOptions MotifEngine::Canonicalize(const EngineOptions& options) const {
+  EngineOptions canonical;
+  canonical.algorithm = ResolveAuto(options);
+  canonical.num_threads = 0;
+  canonical.projection = ProjectionPolicy::kAuto;
+  canonical.memory_budget = 0;
+  canonical.sampling_ratio = 0.0;
+  if (canonical.algorithm == Algorithm::kExact) {
+    // Exact counting ignores the sampling knobs, and its closed-form
+    // relative variance is identically 0 — none of these can change what
+    // Count() returns.
+    canonical.num_samples = 0;
+    canonical.seed = 0;
+    canonical.estimate_variance = false;
+  } else {
+    const uint64_t population = canonical.algorithm == Algorithm::kEdgeSample
+                                    ? graph_->num_edges()
+                                    : num_wedges();
+    canonical.num_samples = ResolveSamples(options, population);
+    canonical.seed = options.seed;
+    canonical.estimate_variance = options.estimate_variance;
+  }
+  return canonical;
+}
+
+std::string EngineOptionsCacheKey(const EngineOptions& options) {
+  char buffer[128];
+  if (options.algorithm == Algorithm::kExact) {
+    std::snprintf(buffer, sizeof(buffer), "alg=exact");
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "alg=%s samples=%llu seed=%llu variance=%d",
+                  AlgorithmName(options.algorithm),
+                  static_cast<unsigned long long>(options.num_samples),
+                  static_cast<unsigned long long>(options.seed),
+                  options.estimate_variance ? 1 : 0);
+  }
+  return buffer;
+}
+
 Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
   const Algorithm algorithm = ResolveAuto(options);
   // The ratio only matters when a sampling strategy actually derives its

@@ -195,6 +195,15 @@ struct EngineStats {
   std::string ToString() const;
 };
 
+/// Serializes a CANONICALIZED EngineOptions (MotifEngine::Canonicalize)
+/// into a short stable text key holding exactly the count-relevant
+/// fields — "alg=exact", or "alg=link-sample samples=5000 seed=7
+/// variance=0". The serve-layer result cache prepends the query kind and
+/// graph fingerprint to form its full key. Passing a non-canonical
+/// options struct defeats the cache-sharing guarantee (two equivalent
+/// requests would key differently) but is otherwise harmless.
+std::string EngineOptionsCacheKey(const EngineOptions& options);
+
 /// Counts plus the statistics of the run that produced them.
 struct EngineResult {
   /// Counts (exact) or unbiased estimates (sampling) per h-motif.
@@ -266,6 +275,20 @@ class MotifEngine {
 
   /// The strategy kAuto resolves to for this input under `options`.
   Algorithm ResolveAuto(const EngineOptions& options) const;
+
+  /// Normalizes `options` to the canonical form two calls share exactly
+  /// when Count() is guaranteed to return bit-identical counts for them
+  /// on this engine's graph — the equivalence the serve-layer result
+  /// cache is keyed by (EngineOptionsCacheKey serializes the result).
+  /// Resolves kAuto to the concrete strategy and a zero num_samples to
+  /// the derived sample count, then zeroes every field that cannot
+  /// affect results: num_threads (counting is thread-count-invariant),
+  /// projection policy and memory_budget (estimates are bit-identical
+  /// across policies), sampling_ratio (subsumed by the resolved sample
+  /// count), and — for exact counting — seed, samples and
+  /// estimate_variance too. The canonical form is itself a valid
+  /// argument to Count().
+  EngineOptions Canonicalize(const EngineOptions& options) const;
 
  private:
   explicit MotifEngine(const Hypergraph& graph);

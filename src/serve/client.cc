@@ -1,0 +1,42 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace mochy {
+
+MotifClient::MotifClient(std::string socket_path, int port)
+    : socket_path_(std::move(socket_path)), port_(port) {}
+
+MotifClient::~MotifClient() { Close(); }
+
+Status MotifClient::Connect() {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  auto fd = ConnectTo(socket_path_, port_);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  return Status::OK();
+}
+
+Result<std::string> MotifClient::Request(const std::string& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  MOCHY_RETURN_IF_ERROR(WriteFrame(fd_, request));
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().eof) {
+    return Status::IOError("server closed the connection before replying");
+  }
+  return std::move(frame.value().payload);
+}
+
+void MotifClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mochy

@@ -1,0 +1,55 @@
+/// \file
+/// MotifClient: the thin connection-side counterpart of MotifServer.
+///
+/// Wraps one stream-socket connection (unix-domain or loopback TCP) and
+/// the frame exchange: Request() writes one request payload and returns
+/// the matching response payload. Response *interpretation* — decoding
+/// hex-float counts, rebuilding tables — stays with the caller
+/// (mochy_cli's query mode), so the client works for any command the
+/// server grammar adds later.
+///
+/// \par Thread safety
+/// A MotifClient is a plain connection handle: one thread at a time.
+/// Open one client per thread for concurrent traffic (the server side
+/// handles connections independently).
+#ifndef MOCHY_SERVE_CLIENT_H_
+#define MOCHY_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace mochy {
+
+/// One client connection to a MotifServer.
+class MotifClient {
+ public:
+  /// Does not connect; call Connect().
+  MotifClient(std::string socket_path, int port);
+
+  /// Closes the connection if open.
+  ~MotifClient();
+
+  MotifClient(const MotifClient&) = delete;
+  MotifClient& operator=(const MotifClient&) = delete;
+
+  /// Connects per the address rules of ConnectTo (serve/protocol.h).
+  Status Connect();
+
+  /// Sends one request payload, returns the response payload. The
+  /// connection must be open; server-side failures come back as
+  /// "error ..." payloads (still Result-ok here — the transport worked).
+  Result<std::string> Request(const std::string& request);
+
+  /// Closes the connection (idempotent).
+  void Close();
+
+ private:
+  std::string socket_path_;
+  int port_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace mochy
+
+#endif  // MOCHY_SERVE_CLIENT_H_

@@ -1,0 +1,252 @@
+#include "serve/protocol.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/parse.h"
+
+namespace mochy {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes; eof=true only when the peer closed before
+/// the FIRST byte (a clean boundary for the caller to interpret).
+Status ReadAll(int fd, char* data, size_t size, bool* eof) {
+  *eof = false;
+  size_t read_bytes = 0;
+  while (read_bytes < size) {
+    const ssize_t n = ::read(fd, data + read_bytes, size - read_bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      if (read_bytes == 0) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::IOError("connection closed mid-frame");
+    }
+    read_bytes += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds " +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(size & 0xff),
+      static_cast<unsigned char>((size >> 8) & 0xff),
+      static_cast<unsigned char>((size >> 16) & 0xff),
+      static_cast<unsigned char>((size >> 24) & 0xff),
+  };
+  MOCHY_RETURN_IF_ERROR(
+      WriteAll(fd, reinterpret_cast<const char*>(prefix), sizeof(prefix)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<FrameRead> ReadFrame(int fd) {
+  unsigned char prefix[4];
+  bool eof = false;
+  MOCHY_RETURN_IF_ERROR(
+      ReadAll(fd, reinterpret_cast<char*>(prefix), sizeof(prefix), &eof));
+  FrameRead frame;
+  if (eof) {
+    frame.eof = true;
+    return frame;
+  }
+  const uint32_t size = static_cast<uint32_t>(prefix[0]) |
+                        (static_cast<uint32_t>(prefix[1]) << 8) |
+                        (static_cast<uint32_t>(prefix[2]) << 16) |
+                        (static_cast<uint32_t>(prefix[3]) << 24);
+  if (size > kMaxFrameBytes) {
+    return Status::IOError("frame length " + std::to_string(size) +
+                           " exceeds the " + std::to_string(kMaxFrameBytes) +
+                           "-byte cap");
+  }
+  frame.payload.resize(size);
+  MOCHY_RETURN_IF_ERROR(ReadAll(fd, frame.payload.data(), size, &eof));
+  if (eof && size > 0) return Status::IOError("connection closed mid-frame");
+  return frame;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find(' ', start);
+    const size_t stop = end == std::string_view::npos ? text.size() : end;
+    if (stop > start) tokens.push_back(text.substr(start, stop - start));
+    start = stop + 1;
+  }
+  return tokens;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  if (!text.empty() && text.back() == '\n') text.remove_suffix(1);
+  size_t start = 0;
+  while (true) {
+    const size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      return lines;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+std::string EncodeDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+Result<double> DecodeDouble(std::string_view text) { return ParseDouble(text); }
+
+std::string EncodeCounts(const MotifCounts& counts) {
+  std::string out;
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    if (t > 1) out += ' ';
+    out += EncodeDouble(counts[t]);
+  }
+  return out;
+}
+
+Result<MotifCounts> DecodeCounts(std::string_view text) {
+  const std::vector<std::string_view> tokens = SplitTokens(text);
+  if (tokens.size() != static_cast<size_t>(kNumHMotifs)) {
+    return Status::InvalidArgument(
+        "counts payload has " + std::to_string(tokens.size()) +
+        " values, want " + std::to_string(kNumHMotifs));
+  }
+  MotifCounts counts;
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    auto value = DecodeDouble(tokens[t - 1]);
+    if (!value.ok()) return value.status();
+    counts[t] = value.value();
+  }
+  return counts;
+}
+
+Result<int> ListenOn(const std::string& socket_path, int port) {
+  if (!socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("socket path too long (max " +
+                                     std::to_string(sizeof(addr.sun_path) - 1) +
+                                     " bytes): " + socket_path);
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    // A previous server instance leaves its socket file behind; binding
+    // over it requires removing it first (bind never replaces).
+    ::unlink(socket_path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const Status status = Errno(("bind " + socket_path).c_str());
+      ::close(fd);
+      return status;
+    }
+    if (::listen(fd, 64) < 0) {
+      const Status status = Errno("listen");
+      ::close(fd);
+      return status;
+    }
+    return fd;
+  }
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("need a --socket path or a TCP port in "
+                                   "[1, 65535], got port " +
+                                   std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Errno(("bind port " + std::to_string(port)).c_str());
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ConnectTo(const std::string& socket_path, int port) {
+  if (!socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("socket path too long: " + socket_path);
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const Status status = Errno(("connect " + socket_path).c_str());
+      ::close(fd);
+      return status;
+    }
+    return fd;
+  }
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("need a --socket path or a TCP port in "
+                                   "[1, 65535], got port " +
+                                   std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Errno(("connect port " + std::to_string(port)).c_str());
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+}  // namespace mochy

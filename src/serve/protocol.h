@@ -1,0 +1,84 @@
+/// \file
+/// Wire protocol of the motif-count serving layer.
+///
+/// Transport is a stream socket (unix-domain or loopback TCP) carrying
+/// **length-prefixed frames**: a 4-byte little-endian payload length
+/// followed by that many bytes of UTF-8 text. One request frame yields
+/// exactly one response frame; a connection carries any number of
+/// request/response pairs and is closed by the client (EOF at a frame
+/// boundary is a clean end of conversation, EOF inside a frame is an
+/// error). Frames above kMaxFrameBytes are rejected before any
+/// allocation, so a corrupt or hostile length prefix cannot balloon
+/// server memory.
+///
+/// Payloads are line-oriented text (first line = command or status,
+/// space-separated tokens; see docs/ARCHITECTURE.md "The serving layer"
+/// for the full request/response grammar). Motif counts travel as
+/// C99 hex-float literals (printf %a), which round-trip doubles exactly —
+/// a served count is bit-identical to the engine result it came from,
+/// never a decimal approximation.
+#ifndef MOCHY_SERVE_PROTOCOL_H_
+#define MOCHY_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "motif/counts.h"
+
+namespace mochy {
+
+/// Hard per-frame payload cap (16 MiB): far above any real response —
+/// the largest payload is a profile response, well under a kilobyte —
+/// and small enough that a garbage length prefix fails fast.
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Writes one frame (length prefix + payload) to `fd`, retrying short
+/// writes and EINTR. Errors with kInvalidArgument when the payload
+/// exceeds kMaxFrameBytes, kIOError on a broken connection.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Result of ReadFrame: either a payload or a clean end-of-stream.
+struct FrameRead {
+  bool eof = false;     ///< peer closed at a frame boundary (no payload)
+  std::string payload;  ///< the frame's text when !eof
+};
+
+/// Reads one frame from `fd`. A clean EOF before any length byte yields
+/// {eof=true}; EOF mid-frame, an oversized length prefix, or a socket
+/// error yield kIOError.
+Result<FrameRead> ReadFrame(int fd);
+
+/// Splits on single spaces, dropping empty tokens ("a  b" -> ["a","b"]).
+std::vector<std::string_view> SplitTokens(std::string_view text);
+
+/// Splits on '\n', keeping empty lines, dropping one trailing newline.
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+/// Formats `value` as a C99 hex-float literal (%a) — exact round-trip.
+std::string EncodeDouble(double value);
+
+/// Parses a double accepting hex-float literals; whole string only,
+/// finite only (common/parse.h semantics).
+Result<double> DecodeDouble(std::string_view text);
+
+/// The 26 counts as space-separated hex-float tokens.
+std::string EncodeCounts(const MotifCounts& counts);
+
+/// Inverse of EncodeCounts; errors unless exactly 26 finite values.
+Result<MotifCounts> DecodeCounts(std::string_view text);
+
+/// Opens a listening stream socket: unix-domain at `socket_path` when
+/// non-empty (an existing socket file at that path is replaced),
+/// otherwise loopback TCP on `port`. Returns the listening fd.
+Result<int> ListenOn(const std::string& socket_path, int port);
+
+/// Connects a stream socket to a server opened with ListenOn (same
+/// address rules). Returns the connected fd.
+Result<int> ConnectTo(const std::string& socket_path, int port);
+
+}  // namespace mochy
+
+#endif  // MOCHY_SERVE_PROTOCOL_H_

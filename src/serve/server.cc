@@ -1,0 +1,497 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/parse.h"
+#include "common/thread_pool.h"
+#include "hypergraph/fingerprint.h"
+#include "hypergraph/io.h"
+#include "profile/significance.h"
+#include "profile/similarity.h"
+#include "serve/protocol.h"
+
+namespace mochy {
+
+namespace {
+
+bool ValidGraphName(std::string_view name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+        c != '_' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ErrorResponse(const Status& status) {
+  return std::string("error code=") + StatusCodeToString(status.code()) + " " +
+         status.message() + "\n";
+}
+
+std::string Hex16(uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// One `key=value` token split at the first '='; empty key on mismatch.
+std::pair<std::string_view, std::string_view> SplitKeyValue(
+    std::string_view token) {
+  const size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) return {{}, {}};
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+/// Parses the count-query options (`algorithm= samples= ratio= seed=
+/// threads= variance=`) from `tokens[first..]`.
+Status ParseCountOptions(const std::vector<std::string_view>& tokens,
+                         size_t first, EngineOptions* options) {
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const auto [key, value] = SplitKeyValue(tokens[i]);
+    if (key == "algorithm") {
+      MOCHY_ASSIGN_OR_RETURN(options->algorithm, ParseAlgorithm(value));
+    } else if (key == "samples") {
+      MOCHY_ASSIGN_OR_RETURN(options->num_samples, ParseUint64(value));
+    } else if (key == "ratio") {
+      MOCHY_ASSIGN_OR_RETURN(options->sampling_ratio,
+                             ParsePositiveDouble(value, "ratio"));
+    } else if (key == "seed") {
+      MOCHY_ASSIGN_OR_RETURN(options->seed, ParseUint64(value));
+    } else if (key == "threads") {
+      MOCHY_ASSIGN_OR_RETURN(
+          uint64_t threads,
+          ParseUint64InRange(value, 0, 4096, "threads"));
+      options->num_threads = static_cast<size_t>(threads);
+    } else if (key == "variance") {
+      MOCHY_ASSIGN_OR_RETURN(uint64_t flag,
+                             ParseUint64InRange(value, 0, 1, "variance"));
+      options->estimate_variance = flag != 0;
+    } else {
+      return Status::InvalidArgument("unknown count option '" +
+                                     std::string(tokens[i]) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+/// Parses the profile-query options shared by profile and similarity.
+Status ParseProfileOptions(const std::vector<std::string_view>& tokens,
+                           size_t first,
+                           CharacteristicProfileOptions* options) {
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const auto [key, value] = SplitKeyValue(tokens[i]);
+    if (key == "random") {
+      MOCHY_ASSIGN_OR_RETURN(uint64_t random,
+                             ParseUint64InRange(value, 1, 100000, "random"));
+      options->num_random_graphs = static_cast<int>(random);
+    } else if (key == "seed") {
+      MOCHY_ASSIGN_OR_RETURN(options->seed, ParseUint64(value));
+    } else if (key == "ratio") {
+      // < 0 means exact counting, so any finite value is legal here.
+      MOCHY_ASSIGN_OR_RETURN(options->sample_ratio, ParseDouble(value));
+    } else if (key == "epsilon") {
+      MOCHY_ASSIGN_OR_RETURN(options->epsilon, ParseDouble(value));
+    } else if (key == "null") {
+      if (value == "chung-lu") {
+        options->null_model = NullModel::kChungLu;
+      } else if (value == "perturb") {
+        options->null_model = NullModel::kPerturb;
+      } else {
+        return Status::InvalidArgument("unknown null model '" +
+                                       std::string(value) +
+                                       "' (want chung-lu|perturb)");
+      }
+    } else if (key == "perturb") {
+      MOCHY_ASSIGN_OR_RETURN(options->perturb_fraction,
+                             ParseDouble(value));
+    } else if (key == "threads") {
+      MOCHY_ASSIGN_OR_RETURN(
+          uint64_t threads,
+          ParseUint64InRange(value, 0, 4096, "threads"));
+      options->num_threads = static_cast<size_t>(threads);
+    } else {
+      return Status::InvalidArgument("unknown profile option '" +
+                                     std::string(tokens[i]) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+/// The cache key of a profile body: every option that can change the
+/// profile, doubles encoded exactly. num_threads is deliberately absent
+/// (the pipeline is thread-count-invariant, motif/engine.h).
+std::string ProfileCacheKey(uint64_t fingerprint,
+                            const CharacteristicProfileOptions& options) {
+  std::string key = "profile fp=" + Hex16(fingerprint);
+  key += " random=" + std::to_string(options.num_random_graphs);
+  key += " seed=" + std::to_string(options.seed);
+  key += " ratio=" + EncodeDouble(options.sample_ratio);
+  key += " epsilon=" + EncodeDouble(options.epsilon);
+  key += options.null_model == NullModel::kChungLu ? " null=chung-lu"
+                                                   : " null=perturb";
+  key += " perturb=" + EncodeDouble(options.perturb_fraction);
+  return key;
+}
+
+}  // namespace
+
+std::string ServerStats::ToString() const {
+  char line[512];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "server queries=%llu count=%llu profile=%llu "
+                "similarity=%llu errors=%llu graphs=%zu\n",
+                static_cast<unsigned long long>(queries),
+                static_cast<unsigned long long>(count_queries),
+                static_cast<unsigned long long>(profile_queries),
+                static_cast<unsigned long long>(similarity_queries),
+                static_cast<unsigned long long>(errors), graphs);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "cache hits=%llu misses=%llu hit_rate=%.4f entries=%zu "
+                "resident_bytes=%llu budget_bytes=%llu insertions=%llu "
+                "evictions=%llu admission_rejects=%llu\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                cache.HitRate(), cache.entries,
+                static_cast<unsigned long long>(cache.resident_bytes),
+                static_cast<unsigned long long>(cache.budget_bytes),
+                static_cast<unsigned long long>(cache.insertions),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.admission_rejects));
+  out += line;
+  return out;
+}
+
+MotifServer::MotifServer(ServeOptions options)
+    : options_(std::move(options)), cache_(options_.cache_budget) {}
+
+Status MotifServer::LoadGraph(const std::string& name, Hypergraph graph) {
+  if (!ValidGraphName(name)) {
+    return Status::InvalidArgument("invalid graph name '" + name +
+                                   "' (want [A-Za-z0-9._-]{1,128})");
+  }
+  auto entry = std::make_unique<GraphEntry>();
+  entry->graph = std::move(graph);
+  entry->fingerprint = GraphFingerprint(entry->graph);
+  auto engine = MotifEngine::Create(entry->graph);
+  if (!engine.ok()) return engine.status();
+  entry->engine =
+      std::make_unique<MotifEngine>(std::move(engine).value());
+
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (auto it = registry_.find(name); it != registry_.end()) {
+    if (it->second->fingerprint == entry->fingerprint) {
+      return Status::OK();  // identical content: idempotent
+    }
+    return Status::AlreadyExists("graph '" + name +
+                                 "' is already loaded with different "
+                                 "content (fingerprint mismatch)");
+  }
+  registry_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status MotifServer::LoadGraphFile(const std::string& name,
+                                  const std::string& path) {
+  auto graph = LoadHypergraph(path);
+  if (!graph.ok()) return graph.status();
+  return LoadGraph(name, std::move(graph).value());
+}
+
+MotifServer::GraphEntry* MotifServer::FindGraph(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second.get();
+}
+
+std::string MotifServer::HandleLoad(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() != 3) {
+    return ErrorResponse(
+        Status::InvalidArgument("usage: load <name> <path>"));
+  }
+  const std::string name(tokens[1]);
+  if (Status s = LoadGraphFile(name, std::string(tokens[2])); !s.ok()) {
+    return ErrorResponse(s);
+  }
+  GraphEntry* entry = FindGraph(name);
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "ok kind=load name=%s fingerprint=%s nodes=%zu edges=%zu "
+                "pins=%llu\n",
+                name.c_str(), Hex16(entry->fingerprint).c_str(),
+                entry->graph.num_nodes(), entry->graph.num_edges(),
+                static_cast<unsigned long long>(entry->graph.num_pins()));
+  return line;
+}
+
+std::string MotifServer::HandleCount(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 2) {
+    return ErrorResponse(
+        Status::InvalidArgument("usage: count <name> [key=value ...]"));
+  }
+  GraphEntry* entry = FindGraph(std::string(tokens[1]));
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound(
+        "graph '" + std::string(tokens[1]) + "' is not loaded"));
+  }
+  EngineOptions requested;
+  if (Status s = ParseCountOptions(tokens, 2, &requested); !s.ok()) {
+    return ErrorResponse(s);
+  }
+  const EngineOptions canonical = entry->engine->Canonicalize(requested);
+  const std::string key =
+      "count fp=" + Hex16(entry->fingerprint) + " " +
+      EngineOptionsCacheKey(canonical);
+
+  bool cached = true;
+  std::optional<std::string> body = cache_.Get(key);
+  if (!body.has_value()) {
+    cached = false;
+    // Execute with the canonical options (results are identical by the
+    // Canonicalize() contract) but the requested thread budget (purely
+    // a scheduling knob).
+    EngineOptions exec = canonical;
+    exec.num_threads = requested.num_threads;
+    auto result = entry->engine->Count(exec);
+    if (!result.ok()) return ErrorResponse(result.status());
+    body = "stats " + result.value().stats.ToString() + "\n" +
+           "counts " + EncodeCounts(result.value().counts) + "\n";
+    cache_.Put(key, *body);
+  }
+  return "ok kind=count graph=" + std::string(tokens[1]) +
+         " fingerprint=" + Hex16(entry->fingerprint) +
+         " cached=" + (cached ? "1" : "0") + "\n" + *body;
+}
+
+Result<std::string> MotifServer::ProfileBody(
+    GraphEntry* entry, const std::vector<std::string_view>& tokens,
+    bool* cached) {
+  CharacteristicProfileOptions options;
+  MOCHY_RETURN_IF_ERROR(ParseProfileOptions(tokens, 2, &options));
+  const std::string key = ProfileCacheKey(entry->fingerprint, options);
+  *cached = true;
+  std::optional<std::string> body = cache_.Get(key);
+  if (!body.has_value()) {
+    *cached = false;
+    auto profile = ComputeCharacteristicProfile(entry->graph, options);
+    if (!profile.ok()) return profile.status();
+    body = "batch " + profile.value().batch.ToString() + "\n" +
+           "real " + EncodeCounts(profile.value().real_counts) + "\n" +
+           "random " + EncodeCounts(profile.value().random_mean) + "\n" +
+           "epsilon " + EncodeDouble(options.epsilon) + "\n";
+    cache_.Put(key, *body);
+  }
+  return *body;
+}
+
+std::string MotifServer::HandleProfile(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 2) {
+    return ErrorResponse(
+        Status::InvalidArgument("usage: profile <name> [key=value ...]"));
+  }
+  GraphEntry* entry = FindGraph(std::string(tokens[1]));
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound(
+        "graph '" + std::string(tokens[1]) + "' is not loaded"));
+  }
+  bool cached = false;
+  auto body = ProfileBody(entry, tokens, &cached);
+  if (!body.ok()) return ErrorResponse(body.status());
+  return "ok kind=profile graph=" + std::string(tokens[1]) +
+         " fingerprint=" + Hex16(entry->fingerprint) +
+         " cached=" + (cached ? "1" : "0") + "\n" + body.value();
+}
+
+std::string MotifServer::HandleSimilarity(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 3) {
+    return ErrorResponse(Status::InvalidArgument(
+        "usage: similarity <name1> <name2> [key=value ...]"));
+  }
+  GraphEntry* first = FindGraph(std::string(tokens[1]));
+  GraphEntry* second = FindGraph(std::string(tokens[2]));
+  if (first == nullptr || second == nullptr) {
+    return ErrorResponse(Status::NotFound(
+        "graph '" +
+        std::string(first == nullptr ? tokens[1] : tokens[2]) +
+        "' is not loaded"));
+  }
+  // The per-graph profile bodies carry the cost and are shared with
+  // plain profile queries through the same cache entries; the
+  // correlation itself is recomputed from them each time.
+  // ProfileBody reads options from index 2 on, so hand it tokens shaped
+  // like a profile request: [cmd, <name>, options...].
+  std::vector<std::string_view> profile_tokens = tokens;
+  profile_tokens.erase(profile_tokens.begin() + 2);  // drop <name2>
+  bool first_cached = false, second_cached = false;
+  auto first_body = ProfileBody(first, profile_tokens, &first_cached);
+  if (!first_body.ok()) return ErrorResponse(first_body.status());
+  profile_tokens = tokens;
+  profile_tokens.erase(profile_tokens.begin() + 1);  // drop <name1>
+  auto second_body = ProfileBody(second, profile_tokens, &second_cached);
+  if (!second_body.ok()) return ErrorResponse(second_body.status());
+
+  // Decode real/random/epsilon back out of the cached bodies and derive
+  // each CP with the same pure functions the offline pipeline uses.
+  auto cp_of = [](const std::string& text) -> Result<std::vector<double>> {
+    MotifCounts real, random;
+    double epsilon = 1.0;
+    for (const std::string_view line : SplitLines(text)) {
+      if (line.rfind("real ", 0) == 0) {
+        MOCHY_ASSIGN_OR_RETURN(real, DecodeCounts(line.substr(5)));
+      } else if (line.rfind("random ", 0) == 0) {
+        MOCHY_ASSIGN_OR_RETURN(random, DecodeCounts(line.substr(7)));
+      } else if (line.rfind("epsilon ", 0) == 0) {
+        MOCHY_ASSIGN_OR_RETURN(epsilon, DecodeDouble(line.substr(8)));
+      }
+    }
+    const ProfileVector cp =
+        NormalizeProfile(ComputeSignificance(real, random, epsilon));
+    return std::vector<double>(cp.begin(), cp.end());
+  };
+  auto first_cp = cp_of(first_body.value());
+  if (!first_cp.ok()) return ErrorResponse(first_cp.status());
+  auto second_cp = cp_of(second_body.value());
+  if (!second_cp.ok()) return ErrorResponse(second_cp.status());
+  const double pearson =
+      PearsonCorrelation(first_cp.value(), second_cp.value());
+
+  return "ok kind=similarity graphs=" + std::string(tokens[1]) + "," +
+         std::string(tokens[2]) +
+         " cached=" + ((first_cached && second_cached) ? "1" : "0") + "\n" +
+         "pearson " + EncodeDouble(pearson) + "\n";
+}
+
+std::string MotifServer::HandleStats() {
+  return "ok kind=stats\n" + stats().ToString();
+}
+
+std::string MotifServer::HandleRequest(const std::string& request) {
+  // Requests are single-line; tolerate a trailing newline.
+  const std::vector<std::string_view> lines = SplitLines(request);
+  const std::vector<std::string_view> tokens =
+      lines.empty() ? std::vector<std::string_view>{}
+                    : SplitTokens(lines.front());
+  std::string response;
+  const std::string_view command = tokens.empty() ? "" : tokens.front();
+  if (command == "count") {
+    response = HandleCount(tokens);
+  } else if (command == "profile") {
+    response = HandleProfile(tokens);
+  } else if (command == "similarity") {
+    response = HandleSimilarity(tokens);
+  } else if (command == "load") {
+    response = HandleLoad(tokens);
+  } else if (command == "stats") {
+    response = HandleStats();
+  } else if (command == "shutdown") {
+    RequestStop();
+    response = "ok kind=shutdown\n";
+  } else {
+    response = ErrorResponse(Status::InvalidArgument(
+        "unknown command '" + std::string(command) +
+        "' (want load|count|profile|similarity|stats|shutdown)"));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+    if (command == "count") ++stats_.count_queries;
+    if (command == "profile") ++stats_.profile_queries;
+    if (command == "similarity") ++stats_.similarity_queries;
+    if (response.rfind("error", 0) == 0) ++stats_.errors;
+  }
+  return response;
+}
+
+ServerStats MotifServer::stats() const {
+  ServerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.cache = cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    snapshot.graphs = registry_.size();
+  }
+  return snapshot;
+}
+
+void MotifServer::RequestStop() { stop_.store(true); }
+
+void MotifServer::HandleConnection(int fd) {
+  int idle_ms = 0;
+  while (idle_ms < options_.idle_timeout_ms) {
+    // Short poll slices so a stop request closes idle connections
+    // promptly instead of after the full idle timeout.
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) break;
+    if (ready == 0) {
+      if (stop_.load()) break;
+      idle_ms += 200;
+      continue;
+    }
+    auto frame = ReadFrame(fd);
+    if (!frame.ok() || frame.value().eof) break;
+    const std::string response = HandleRequest(frame.value().payload);
+    if (!WriteFrame(fd, response).ok()) break;
+    idle_ms = 0;
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    --active_connections_;
+  }
+  connections_done_.notify_all();
+}
+
+Status MotifServer::Serve() {
+  auto listen_fd = ListenOn(options_.socket_path, options_.port);
+  if (!listen_fd.ok()) return listen_fd.status();
+  const int fd = listen_fd.value();
+
+  while (!stop_.load()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      ++active_connections_;
+    }
+    SharedThreadPool().Submit([this, conn] { HandleConnection(conn); });
+  }
+
+  ::close(fd);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+  std::unique_lock<std::mutex> lock(connections_mutex_);
+  connections_done_.wait(lock, [this] { return active_connections_ == 0; });
+  return Status::OK();
+}
+
+}  // namespace mochy

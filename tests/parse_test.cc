@@ -1,0 +1,103 @@
+// Tests for the validating flag/wire parsers (common/parse.h): the whole
+// point is that nothing silently coerces — junk, signs on unsigned
+// values, overflow, trailing garbage and non-finite doubles must all be
+// rejected with kInvalidArgument, and every legal boundary value must
+// round-trip exactly.
+#include "common/parse.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace mochy {
+namespace {
+
+TEST(ParseUint64Test, ParsesValidValues) {
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_EQ(ParseUint64("42").value(), 42u);
+  EXPECT_EQ(ParseUint64("007").value(), 7u);  // decimal, not octal
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseUint64Test, RejectsJunkAndSigns) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("abc").ok());
+  EXPECT_FALSE(ParseUint64("12abc").ok());   // trailing garbage
+  EXPECT_FALSE(ParseUint64("abc12").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());      // atoi would wrap this
+  EXPECT_FALSE(ParseUint64("+1").ok());
+  EXPECT_FALSE(ParseUint64(" 1").ok());      // no whitespace trimming
+  EXPECT_FALSE(ParseUint64("1 ").ok());
+  EXPECT_FALSE(ParseUint64("0x10").ok());    // no hex
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+}
+
+TEST(ParseUint64Test, RejectsOverflow) {
+  // UINT64_MAX + 1 and something far bigger.
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());
+  EXPECT_FALSE(ParseUint64("99999999999999999999999").ok());
+  EXPECT_EQ(ParseUint64("18446744073709551616").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParseUint64InRangeTest, EnforcesInclusiveBounds) {
+  EXPECT_EQ(ParseUint64InRange("1", 1, 65535, "--port").value(), 1u);
+  EXPECT_EQ(ParseUint64InRange("65535", 1, 65535, "--port").value(), 65535u);
+  EXPECT_FALSE(ParseUint64InRange("0", 1, 65535, "--port").ok());
+  EXPECT_FALSE(ParseUint64InRange("65536", 1, 65535, "--port").ok());
+  // The flag name lands in the error message.
+  const Status status =
+      ParseUint64InRange("0", 1, 65535, "--port").status();
+  EXPECT_NE(status.message().find("--port"), std::string::npos);
+}
+
+TEST(ParseInt64Test, ParsesSignedValues) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("-1").value(), -1);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseInt64("-9223372036854775808").value(),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(ParseInt64Test, RejectsJunkAndOverflow) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("--1").ok());
+  EXPECT_FALSE(ParseInt64("1-").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+}
+
+TEST(ParseDoubleTest, ParsesFiniteValues) {
+  EXPECT_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_EQ(ParseDouble("-1").value(), -1.0);
+  EXPECT_EQ(ParseDouble("1e-3").value(), 1e-3);
+  // Hex-float literals are deliberately accepted: the serve protocol
+  // moves doubles as %a strings for exact round-trips.
+  EXPECT_EQ(ParseDouble("0x1.8p+1").value(), 3.0);
+}
+
+TEST(ParseDoubleTest, RejectsJunkAndNonFinite) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());   // trailing garbage
+  EXPECT_FALSE(ParseDouble(" 1.5").ok());   // no whitespace trimming
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("-inf").ok());
+  EXPECT_FALSE(ParseDouble("1e999").ok());  // overflows to infinity
+}
+
+TEST(ParsePositiveDoubleTest, RequiresStrictlyPositive) {
+  EXPECT_EQ(ParsePositiveDouble("0.05", "--ratio").value(), 0.05);
+  EXPECT_FALSE(ParsePositiveDouble("0", "--ratio").ok());
+  EXPECT_FALSE(ParsePositiveDouble("-0.5", "--ratio").ok());
+  const Status status = ParsePositiveDouble("-0.5", "--ratio").status();
+  EXPECT_NE(status.message().find("--ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mochy

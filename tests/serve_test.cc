@@ -1,0 +1,376 @@
+// Tests for the serving layer: cache-key canonicalization (the
+// correctness heart of the result cache — options that cannot change
+// counts must share an entry, options that can must not), the
+// byte-budgeted LRU itself, protocol framing/encoding round-trips, the
+// request dispatcher (cold vs cached responses bit-identical to direct
+// engine runs), and a full socket round-trip against a live server.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "gtest/gtest.h"
+#include "hypergraph/fingerprint.h"
+#include "motif/engine.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+Hypergraph TestGraph(uint64_t seed = 17) {
+  return testing::RandomHypergraph(30, 60, 1, 5, seed);
+}
+
+// ---------------------------------------------------------------- keys --
+
+TEST(CacheKeyTest, SchedulingKnobsCanonicalizeAway) {
+  const Hypergraph g = TestGraph();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+
+  EngineOptions defaults;  // exact, default threads, auto projection
+  EngineOptions tuned;
+  tuned.num_threads = 2;  // explicit thread count
+  tuned.projection = ProjectionPolicy::kLazy;
+  tuned.memory_budget = ParseMemoryBudget("1M").value();
+  EXPECT_EQ(EngineOptionsCacheKey(engine.Canonicalize(defaults)),
+            EngineOptionsCacheKey(engine.Canonicalize(tuned)));
+
+  // Memory-budget suffix variants parse to the same bytes and (either
+  // way) cannot affect counts, so they land on the same entry.
+  EngineOptions suffixed = tuned;
+  suffixed.memory_budget = ParseMemoryBudget("1048576").value();
+  EXPECT_EQ(ParseMemoryBudget("1M").value(),
+            ParseMemoryBudget("1048576").value());
+  EXPECT_EQ(EngineOptionsCacheKey(engine.Canonicalize(tuned)),
+            EngineOptionsCacheKey(engine.Canonicalize(suffixed)));
+}
+
+TEST(CacheKeyTest, ExactIgnoresSamplingFields) {
+  const Hypergraph g = TestGraph();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions a;  // exact by default
+  a.seed = 1;
+  EngineOptions b;
+  b.seed = 99;  // seed cannot affect an exact count
+  b.num_samples = 1234;
+  b.sampling_ratio = 0.5;
+  EXPECT_EQ(EngineOptionsCacheKey(engine.Canonicalize(a)),
+            EngineOptionsCacheKey(engine.Canonicalize(b)));
+}
+
+TEST(CacheKeyTest, SamplerSeedAndAlgorithmMatter) {
+  const Hypergraph g = TestGraph();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  EngineOptions base;
+  base.algorithm = Algorithm::kLinkSample;
+  base.num_samples = 500;
+  base.seed = 1;
+
+  EngineOptions other_seed = base;
+  other_seed.seed = 2;
+  EXPECT_NE(EngineOptionsCacheKey(engine.Canonicalize(base)),
+            EngineOptionsCacheKey(engine.Canonicalize(other_seed)));
+
+  EngineOptions other_algorithm = base;
+  other_algorithm.algorithm = Algorithm::kEdgeSample;
+  EXPECT_NE(EngineOptionsCacheKey(engine.Canonicalize(base)),
+            EngineOptionsCacheKey(engine.Canonicalize(other_algorithm)));
+
+  EngineOptions other_samples = base;
+  other_samples.num_samples = 501;
+  EXPECT_NE(EngineOptionsCacheKey(engine.Canonicalize(base)),
+            EngineOptionsCacheKey(engine.Canonicalize(other_samples)));
+}
+
+TEST(CacheKeyTest, DerivedAndExplicitSampleCountsUnify) {
+  const Hypergraph g = TestGraph();
+  const MotifEngine engine = MotifEngine::Create(g).value();
+  // kAuto resolves to a concrete algorithm and ratio-derived samples
+  // resolve to a concrete count, so "the same run spelled differently"
+  // shares an entry.
+  EngineOptions by_ratio;
+  by_ratio.algorithm = Algorithm::kLinkSample;
+  by_ratio.sampling_ratio = 0.1;
+  by_ratio.seed = 3;
+  const EngineOptions canonical = engine.Canonicalize(by_ratio);
+  ASSERT_GT(canonical.num_samples, 0u);
+
+  EngineOptions by_count;
+  by_count.algorithm = Algorithm::kLinkSample;
+  by_count.num_samples = canonical.num_samples;
+  by_count.seed = 3;
+  EXPECT_EQ(EngineOptionsCacheKey(canonical),
+            EngineOptionsCacheKey(engine.Canonicalize(by_count)));
+}
+
+// -------------------------------------------------------------- LRU --
+
+TEST(BudgetedLruCacheTest, HitsMissesAndRecency) {
+  BudgetedLruCache cache(1024);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Put("a", "1"));
+  EXPECT_EQ(cache.Get("a").value(), "1");
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.resident_bytes,
+            1 + 1 + BudgetedLruCache::kEntryOverheadBytes);
+}
+
+TEST(BudgetedLruCacheTest, EvictsLeastRecentlyUsed) {
+  // Budget fits exactly two single-byte entries.
+  const uint64_t entry = 1 + 1 + BudgetedLruCache::kEntryOverheadBytes;
+  BudgetedLruCache cache(2 * entry);
+  EXPECT_TRUE(cache.Put("a", "1"));
+  EXPECT_TRUE(cache.Put("b", "2"));
+  EXPECT_TRUE(cache.Get("a").has_value());  // refresh a: b becomes LRU
+  EXPECT_TRUE(cache.Put("c", "3"));         // evicts b
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(BudgetedLruCacheTest, RejectsOversizedEntries) {
+  BudgetedLruCache cache(128);
+  EXPECT_TRUE(cache.Put("small", "x"));
+  // An entry bigger than the whole budget must not flush the cache.
+  EXPECT_FALSE(cache.Put("big", std::string(1024, 'y')));
+  EXPECT_TRUE(cache.Get("small").has_value());
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+  // Zero budget disables caching entirely.
+  BudgetedLruCache disabled(0);
+  EXPECT_FALSE(disabled.Put("k", "v"));
+  EXPECT_FALSE(disabled.Get("k").has_value());
+}
+
+TEST(BudgetedLruCacheTest, PutReplacesExistingKey) {
+  BudgetedLruCache cache(1024);
+  EXPECT_TRUE(cache.Put("k", "old"));
+  EXPECT_TRUE(cache.Put("k", "new"));
+  EXPECT_EQ(cache.Get("k").value(), "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// -------------------------------------------------------- protocol --
+
+TEST(ProtocolTest, FramesRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteFrame(fds[0], "hello frames").ok());
+  ASSERT_TRUE(WriteFrame(fds[0], "").ok());  // empty payload is legal
+  auto first = ReadFrame(fds[1]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().eof);
+  EXPECT_EQ(first.value().payload, "hello frames");
+  auto second = ReadFrame(fds[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().payload, "");
+  // Clean close at a frame boundary reads as eof, not an error.
+  ::close(fds[0]);
+  auto third = ReadFrame(fds[1]);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third.value().eof);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, OversizedPayloadIsRejectedBeforeWriting) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string huge(kMaxFrameBytes + 1, 'x');
+  EXPECT_EQ(WriteFrame(fds[0], huge).code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, DoublesRoundTripExactly) {
+  for (const double value : {0.0, 1.0, -1.0, 0.1, 1e-300, 12345.6789,
+                             2621.000000000001}) {
+    EXPECT_EQ(DecodeDouble(EncodeDouble(value)).value(), value);
+  }
+  MotifCounts counts;
+  for (int t = 1; t <= kNumHMotifs; ++t) counts[t] = t * 0.1 + 1e9;
+  const auto decoded = DecodeCounts(EncodeCounts(counts));
+  ASSERT_TRUE(decoded.ok());
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_EQ(decoded.value()[t], counts[t]);
+  }
+  EXPECT_FALSE(DecodeCounts("0x1p+0 0x1p+0").ok());  // wrong arity
+}
+
+// ----------------------------------------------------- fingerprint --
+
+TEST(FingerprintTest, IdentifiesContentNotIdentity) {
+  const Hypergraph a = TestGraph(17);
+  const Hypergraph b = TestGraph(17);
+  const Hypergraph c = TestGraph(18);
+  EXPECT_EQ(GraphFingerprint(a), GraphFingerprint(b));
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(c));
+}
+
+// -------------------------------------------------------- dispatch --
+
+TEST(MotifServerTest, ColdAndCachedCountsAreBitIdentical) {
+  const Hypergraph g = TestGraph();
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", g).ok());
+
+  const std::string request = "count g algorithm=link-sample samples=400 seed=5";
+  const std::string cold = server.HandleRequest(request);
+  const std::string warm = server.HandleRequest(request);
+  ASSERT_EQ(cold.rfind("ok kind=count", 0), 0u) << cold;
+  EXPECT_NE(cold.find("cached=0"), std::string::npos);
+  EXPECT_NE(warm.find("cached=1"), std::string::npos);
+  // Identical payloads apart from the cached flag in the header line.
+  EXPECT_EQ(cold.substr(cold.find('\n')), warm.substr(warm.find('\n')));
+
+  // The served counts decode to exactly what a direct engine run yields.
+  EngineOptions options;
+  options.algorithm = Algorithm::kLinkSample;
+  options.num_samples = 400;
+  options.seed = 5;
+  const MotifCounts direct =
+      MotifEngine::Create(g, options).value().Count(options).value().counts;
+  MotifCounts served;
+  bool decoded = false;
+  for (const std::string_view line : SplitLines(warm)) {
+    if (line.rfind("counts ", 0) == 0) {
+      served = DecodeCounts(line.substr(7)).value();
+      decoded = true;
+    }
+  }
+  ASSERT_TRUE(decoded);
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_EQ(served[t], direct[t]) << "motif " << t;
+  }
+}
+
+TEST(MotifServerTest, EquivalentRequestsShareOneCacheEntry) {
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", TestGraph()).ok());
+  // Thread count is a scheduling knob; exact counting ignores seeds.
+  EXPECT_NE(server.HandleRequest("count g algorithm=exact seed=1")
+                .find("cached=0"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("count g algorithm=exact seed=9 threads=2")
+                .find("cached=1"),
+            std::string::npos);
+  // A different sampler seed is a different result: must miss.
+  EXPECT_NE(server.HandleRequest("count g algorithm=link-sample seed=1")
+                .find("cached=0"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("count g algorithm=link-sample seed=2")
+                .find("cached=0"),
+            std::string::npos);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.count_queries, 4u);
+  EXPECT_EQ(stats.cache.insertions, 3u);
+}
+
+TEST(MotifServerTest, ProfileAndSimilarityShareCachedBodies) {
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g1", TestGraph(17)).ok());
+  ASSERT_TRUE(server.LoadGraph("g2", TestGraph(23)).ok());
+  const std::string profile =
+      server.HandleRequest("profile g1 random=2 seed=3 ratio=0.2");
+  ASSERT_EQ(profile.rfind("ok kind=profile", 0), 0u) << profile;
+  EXPECT_NE(profile.find("cached=0"), std::string::npos);
+  // similarity reuses g1's cached profile body; g2's is cold.
+  const std::string cold =
+      server.HandleRequest("similarity g1 g2 random=2 seed=3 ratio=0.2");
+  ASSERT_EQ(cold.rfind("ok kind=similarity", 0), 0u) << cold;
+  EXPECT_NE(cold.find("cached=0"), std::string::npos);
+  const std::string warm =
+      server.HandleRequest("similarity g1 g2 random=2 seed=3 ratio=0.2");
+  EXPECT_NE(warm.find("cached=1"), std::string::npos);
+  // Bit-identical pearson line across cold and warm.
+  EXPECT_EQ(cold.substr(cold.find('\n')), warm.substr(warm.find('\n')));
+}
+
+TEST(MotifServerTest, MalformedRequestsBecomeErrorResponses) {
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", TestGraph()).ok());
+  EXPECT_EQ(server.HandleRequest("bogus").rfind("error code=InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(server.HandleRequest("count missing").rfind("error code=NotFound", 0),
+            0u);
+  EXPECT_EQ(server.HandleRequest("count g threads=junk")
+                .rfind("error code=InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(server.HandleRequest("count g seed=-1")
+                .rfind("error code=InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(server.HandleRequest("count g ratio=0")
+                .rfind("error code=InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(server.stats().errors, 5u);
+}
+
+TEST(MotifServerTest, LoadIsIdempotentOnIdenticalContentOnly) {
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", TestGraph(17)).ok());
+  EXPECT_TRUE(server.LoadGraph("g", TestGraph(17)).ok());  // same content
+  const Status clash = server.LoadGraph("g", TestGraph(18));
+  EXPECT_EQ(clash.code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(server.LoadGraph("bad name!", TestGraph()).ok());
+  EXPECT_EQ(server.stats().graphs, 1u);
+}
+
+// ---------------------------------------------------------- socket --
+
+TEST(MotifServerTest, ServesQueriesOverAUnixSocket) {
+  const std::string socket_path =
+      "/tmp/mochy_serve_test_" + std::to_string(::getpid()) + ".sock";
+  ServeOptions options;
+  options.socket_path = socket_path;
+  MotifServer server(options);
+  ASSERT_TRUE(server.LoadGraph("g", TestGraph()).ok());
+
+  std::thread serving([&server] { EXPECT_TRUE(server.Serve().ok()); });
+  // The listener may not be bound yet; retry briefly.
+  MotifClient client(socket_path, 0);
+  Status connected = Status::OK();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    connected = client.Connect();
+    if (connected.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(connected.ok()) << connected.ToString();
+
+  auto cold = client.Request("count g algorithm=exact");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold.value().rfind("ok kind=count", 0), 0u) << cold.value();
+  EXPECT_NE(cold.value().find("cached=0"), std::string::npos);
+  auto warm = client.Request("count g algorithm=exact threads=2");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm.value().find("cached=1"), std::string::npos);
+  EXPECT_EQ(cold.value().substr(cold.value().find('\n')),
+            warm.value().substr(warm.value().find('\n')));
+
+  auto stats = client.Request("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().rfind("ok kind=stats", 0), 0u);
+  EXPECT_NE(stats.value().find("cache hits=1"), std::string::npos);
+
+  auto shutdown = client.Request("shutdown");
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_EQ(shutdown.value(), "ok kind=shutdown\n");
+  client.Close();
+  serving.join();
+  // Serve() unlinks the socket path on the way out.
+  EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace mochy

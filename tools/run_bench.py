@@ -102,6 +102,13 @@ def check_regressions(fresh: dict, baseline: dict, max_regression: float) -> int
         print(f"  {key[0]:<14} {key[1]:<20} base={base * 1e3:8.3f}ms "
               f"now={now * 1e3:8.3f}ms calibrated-ratio={ratio:5.2f}  "
               f"{status}")
+    # A kernel present in the fresh report but absent from the baseline
+    # is ungated: nothing would catch it regressing. Fail so the baseline
+    # gets regenerated alongside the code that added the kernel.
+    for key in sorted(set(fresh_walls) - set(base_walls)):
+        print(f"REGRESSION: {key} in the fresh report but missing from the "
+              f"baseline (regenerate the baseline to gate it)")
+        failures += 1
     return failures
 
 
@@ -171,6 +178,13 @@ def main() -> int:
                   f"hit rate {memory['lazy_hit_rate'] * 100:.0f}%, "
                   f"wall {memory['lazy_vs_materialized_wall']:.2f}x "
                   f"of materialized")
+        serving = graph.get("serving")
+        if serving:
+            print(f"{graph['name']}: serving {serving['queries_per_s']:.0f} "
+                  f"queries/s over {serving['queries']} mixed queries, "
+                  f"cache hit rate {serving['hit_rate'] * 100:.0f}%, "
+                  f"latency p50 {serving['p50_us']:.0f}us / "
+                  f"p99 {serving['p99_us']:.0f}us")
 
     if args.baseline:
         baseline = json.loads(pathlib.Path(args.baseline).read_text())
