@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -88,6 +89,26 @@ struct GraphReport {
   // what maintaining exact counts on one arrival costs with a recount
   // vs. with the incremental delta pass, at this graph's size.
   double stream_speedup_vs_recount = 0.0;
+  // Decremental scenario: the populated graph drained back to empty,
+  // one reverse delta pass per removal; the end state is verified to be
+  // exactly the zero vector in-run.
+  uint64_t stream_removals = 0;
+  double stream_remove_wall_s = 0.0;    // min over repeats
+  double stream_removals_per_s = 0.0;
+  double stream_mean_removal_us = 0.0;
+  // Sliding-window scenario: the edges replayed as a one-arrival-per-
+  // tick trace through WindowMode::kSliding (horizon = 2 widths), so
+  // every emitted window pays both the arrival and the eviction pass.
+  uint64_t stream_windows = 0;
+  uint64_t stream_evictions = 0;
+  double stream_sliding_wall_s = 0.0;   // min over repeats
+  double stream_windows_per_s = 0.0;
+  // Multi-producer scenario: producer threads round-robin the edges
+  // into a ShardedStreamingEngine while a drainer folds them in; final
+  // counts verified bit-identical to the exact kernels in-run.
+  uint64_t ingest_producers = 0;
+  double ingest_wall_s = 0.0;           // min over repeats
+  double ingest_edges_per_s = 0.0;
   // Memory scenario: MoCHy-A+ through the engine's lazy projection policy
   // under a budget of 1/8 the materialized footprint; estimates verified
   // bit-identical to the materialized kernel in-run.
@@ -275,6 +296,139 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
   if (mean_arrival_s > 0.0) {
     report.stream_speedup_vs_recount =
         (report.projection_s + reference_wall) / mean_arrival_s;
+  }
+
+  // Decremental scenario: drain the streamed graph back down through
+  // the reverse delta pass. Each repeat repopulates a fresh engine
+  // (untimed) and times only the removals; finishing at exactly the
+  // zero vector pins every reverse enumeration to its forward twin
+  // across the whole graph.
+  {
+    KernelRow remove_row;
+    remove_row.kernel = "streaming/remove";
+    remove_row.threads = config.threads;
+    remove_row.samples = graph.num_edges();
+    for (int rep = 0; rep < std::max(config.repeat, 1); ++rep) {
+      StreamingOptions streaming;
+      streaming.num_threads = config.threads;
+      StreamingEngine engine(streaming);
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        if (!engine.AddEdge(graph.edge(e)).ok()) {
+          std::fprintf(stderr, "FATAL: %s: decremental repopulate failed\n",
+                       name.c_str());
+          std::exit(1);
+        }
+      }
+      Timer timer;
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        if (!engine.RemoveEdge(e).ok()) {
+          std::fprintf(stderr, "FATAL: %s: RemoveEdge(%llu) failed\n",
+                       name.c_str(), static_cast<unsigned long long>(e));
+          std::exit(1);
+        }
+      }
+      const double wall = timer.Seconds();
+      if (rep == 0 || wall < remove_row.wall_s) remove_row.wall_s = wall;
+      if (!BitIdentical(engine.counts(), MotifCounts())) {
+        std::fprintf(stderr, "FATAL: %s: decremental drain did not return "
+                             "the counts to zero\n",
+                     name.c_str());
+        std::exit(1);
+      }
+    }
+    remove_row.samples_per_s =
+        remove_row.wall_s > 0.0 ? m / remove_row.wall_s : 0.0;
+    report.kernels.push_back(remove_row);
+    report.stream_removals = graph.num_edges();
+    report.stream_remove_wall_s = remove_row.wall_s;
+    report.stream_removals_per_s = remove_row.samples_per_s;
+    report.stream_mean_removal_us =
+        graph.num_edges() > 0 ? remove_row.wall_s / m * 1e6 : 0.0;
+  }
+
+  // Sliding-window scenario: one arrival per time tick, window width
+  // |E|/16, horizon two widths — every window close both ingests and
+  // evicts, the steady state of a production sliding counter.
+  {
+    TemporalTrace trace;
+    trace.arrivals.reserve(graph.num_edges());
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      TimedEdge arrival;
+      arrival.time = e;
+      const auto span = graph.edge(e);
+      arrival.nodes.assign(span.begin(), span.end());
+      trace.arrivals.push_back(std::move(arrival));
+    }
+    ReplayOptions sliding;
+    sliding.streaming.num_threads = config.threads;
+    sliding.window_width = std::max<uint64_t>(1, graph.num_edges() / 16);
+    sliding.horizon = 2 * sliding.window_width;
+    sliding.mode = WindowMode::kSliding;
+    double wall = 0.0;
+    for (int rep = 0; rep < std::max(config.repeat, 1); ++rep) {
+      Timer timer;
+      auto replayed = ReplayTrace(trace, sliding);
+      const double elapsed = timer.Seconds();
+      if (!replayed.ok()) {
+        std::fprintf(stderr, "FATAL: %s: sliding replay failed: %s\n",
+                     name.c_str(), replayed.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (rep == 0 || elapsed < wall) wall = elapsed;
+      if (rep == 0) {
+        report.stream_windows = replayed.value().windows.size();
+        for (const WindowResult& window : replayed.value().windows) {
+          report.stream_evictions += window.evictions;
+        }
+      }
+    }
+    report.stream_sliding_wall_s = wall;
+    report.stream_windows_per_s =
+        wall > 0.0 ? static_cast<double>(report.stream_windows) / wall : 0.0;
+  }
+
+  // Multi-producer scenario: 4 producer threads round-robin the edges
+  // into a sharded engine while a drainer folds staged arrivals in;
+  // whatever the interleaving, the final counts must equal the exact
+  // kernels bit-for-bit.
+  {
+    constexpr size_t kProducers = 4;
+    double wall = 0.0;
+    for (int rep = 0; rep < std::max(config.repeat, 1); ++rep) {
+      StreamingOptions streaming;
+      streaming.num_threads = 1;  // producers supply the parallelism
+      ShardedStreamingEngine sharded(kProducers, streaming);
+      Timer timer;
+      std::vector<std::thread> producers;
+      for (size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+          for (size_t e = p; e < graph.num_edges(); e += kProducers) {
+            if (!sharded.Submit(p, graph.edge(static_cast<EdgeId>(e))).ok()) {
+              std::fprintf(stderr, "FATAL: %s: sharded Submit failed\n",
+                           name.c_str());
+              std::exit(1);
+            }
+          }
+        });
+      }
+      std::thread drainer([&] {
+        for (int round = 0; round < 16; ++round) sharded.Drain();
+      });
+      for (std::thread& t : producers) t.join();
+      drainer.join();
+      const MotifCounts counts = sharded.Counts();  // final drain + read
+      const double elapsed = timer.Seconds();
+      if (rep == 0 || elapsed < wall) wall = elapsed;
+      if (!BitIdentical(counts, exact_stamped)) {
+        std::fprintf(stderr, "FATAL: %s: sharded ingest counts diverge from "
+                             "the exact kernel\n",
+                     name.c_str());
+        std::exit(1);
+      }
+    }
+    report.ingest_producers = kProducers;
+    report.ingest_wall_s = wall;
+    report.ingest_edges_per_s = wall > 0.0 ? m / wall : 0.0;
   }
 
   // Memory scenario: the same MoCHy-A+ workload through the engine's lazy
@@ -467,11 +621,28 @@ void WriteJson(const Config& config, const std::vector<GraphReport>& graphs) {
     std::fprintf(out,
                  "      \"streaming\": {\"arrivals\": %llu, \"wall_s\": %.6f, "
                  "\"arrivals_per_s\": %.1f, \"mean_arrival_us\": %.3f, "
-                 "\"per_arrival_speedup_vs_recount\": %.1f},\n",
+                 "\"per_arrival_speedup_vs_recount\": %.1f, "
+                 "\"removals\": %llu, \"remove_wall_s\": %.6f, "
+                 "\"removals_per_s\": %.1f, \"mean_removal_us\": %.3f},\n",
                  static_cast<unsigned long long>(report.stream_arrivals),
                  report.stream_wall_s, report.stream_arrivals_per_s,
                  report.stream_mean_arrival_us,
-                 report.stream_speedup_vs_recount);
+                 report.stream_speedup_vs_recount,
+                 static_cast<unsigned long long>(report.stream_removals),
+                 report.stream_remove_wall_s, report.stream_removals_per_s,
+                 report.stream_mean_removal_us);
+    std::fprintf(out,
+                 "      \"windowed\": {\"windows\": %llu, "
+                 "\"evictions\": %llu, \"wall_s\": %.6f, "
+                 "\"windows_per_s\": %.1f},\n",
+                 static_cast<unsigned long long>(report.stream_windows),
+                 static_cast<unsigned long long>(report.stream_evictions),
+                 report.stream_sliding_wall_s, report.stream_windows_per_s);
+    std::fprintf(out,
+                 "      \"ingest\": {\"producers\": %llu, \"wall_s\": %.6f, "
+                 "\"edges_per_s\": %.1f},\n",
+                 static_cast<unsigned long long>(report.ingest_producers),
+                 report.ingest_wall_s, report.ingest_edges_per_s);
     std::fprintf(out,
                  "      \"memory\": {\"materialized_bytes\": %llu, "
                  "\"budget_bytes\": %llu, \"lazy_peak_bytes\": %llu, "
@@ -590,13 +761,21 @@ int Main(int argc, char** argv) {
   WriteJson(config, reports);
   for (const GraphReport& report : reports) {
     std::printf("%-10s |E|=%-6zu wedges=%-8llu exact speedup %.2fx | "
-                "stream %.0f arrivals/s, per-arrival speedup %.0fx | "
+                "stream %.0f arrivals/s, %.0f removals/s, "
+                "per-arrival speedup %.0fx | "
+                "sliding %.0f windows/s (%llu evictions) | "
+                "ingest x%llu %.0f edges/s | "
                 "lazy a+ peak %.2f/%.2fMB, hit %.0f%%, wall %.2fx | "
                 "serve %.0f q/s, hit %.0f%%, p99 %.0fus\n",
                 report.name.c_str(), report.edges,
                 static_cast<unsigned long long>(report.wedges),
                 report.exact_speedup, report.stream_arrivals_per_s,
+                report.stream_removals_per_s,
                 report.stream_speedup_vs_recount,
+                report.stream_windows_per_s,
+                static_cast<unsigned long long>(report.stream_evictions),
+                static_cast<unsigned long long>(report.ingest_producers),
+                report.ingest_edges_per_s,
                 report.mem_lazy_peak_bytes / 1048576.0,
                 report.mem_materialized_bytes / 1048576.0,
                 report.mem_lazy_hit_rate * 100.0,

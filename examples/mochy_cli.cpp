@@ -35,14 +35,18 @@
 //   mochy_cli enumerate <file> [--limit N]        list instances
 //   mochy_cli generate <domain> <file> [--scale X] [--seed S]
 //                                                 write a synthetic dataset
-//   mochy_cli stream  <trace> [--window W] [--mode cumulative|tumbling]
-//                             [--threads N]
+//   mochy_cli stream  <trace> [--window W | --window sliding:W]
+//                             [--mode cumulative|tumbling|sliding]
+//                             [--horizon H] [--threads N]
 //                                                 replay a temporal trace
 //                                                 (lines: "time v1 v2 ...")
 //                                                 through the incremental
 //                                                 StreamingEngine; prints
 //                                                 one row per window and
-//                                                 the final exact counts
+//                                                 the final exact counts.
+//                                                 sliding evicts arrivals
+//                                                 older than H (default W)
+//                                                 via the decremental pass
 //   mochy_cli gen-trace <file> [--years N] [--scale X] [--seed S]
 //                                                 write a temporal
 //                                                 co-authorship trace
@@ -117,6 +121,7 @@ struct Flags {
   size_t limit = 50;
   double scale = 0.25;
   uint64_t window = 1;
+  uint64_t horizon = 0;  // 0: window width (see ReplayOptions::horizon)
   WindowMode mode = WindowMode::kCumulative;
   size_t years = 33;
   // serve/query
@@ -204,7 +209,13 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       if (!parsed.ok()) return BadFlag(key, parsed.status());
       flags->scale = parsed.value();
     } else if (key == "--window") {
-      auto parsed = ParseUint64InRange(value, 1, UINT64_MAX, "--window");
+      // "--window sliding:W" is shorthand for "--mode sliding --window W".
+      std::string_view width = value;
+      if (width.rfind("sliding:", 0) == 0) {
+        flags->mode = WindowMode::kSliding;
+        width.remove_prefix(std::strlen("sliding:"));
+      }
+      auto parsed = ParseUint64InRange(width, 1, UINT64_MAX, "--window");
       if (!parsed.ok()) return BadFlag(key, parsed.status());
       flags->window = parsed.value();
     } else if (key == "--mode") {
@@ -213,11 +224,18 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
         flags->mode = WindowMode::kCumulative;
       } else if (mode == "tumbling") {
         flags->mode = WindowMode::kTumbling;
+      } else if (mode == "sliding") {
+        flags->mode = WindowMode::kSliding;
       } else {
-        std::fprintf(stderr,
-                     "unknown mode '%s' (want cumulative|tumbling)\n", value);
+        std::fprintf(
+            stderr, "unknown mode '%s' (want cumulative|tumbling|sliding)\n",
+            value);
         return false;
       }
+    } else if (key == "--horizon") {
+      auto parsed = ParseUint64InRange(value, 1, UINT64_MAX, "--horizon");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->horizon = parsed.value();
     } else if (key == "--years") {
       auto parsed = ParseUint64InRange(value, 1, 1000, "--years");
       if (!parsed.ok()) return BadFlag(key, parsed.status());
@@ -267,7 +285,8 @@ int Usage() {
                "--memory-budget BYTES[K|M|G] (memory-bounded sampling)\n"
                "       profile: --random K --sample-ratio R --epsilon E "
                "--null chung-lu|perturb\n"
-               "       stream: --window W --mode cumulative|tumbling; "
+               "       stream: --window W|sliding:W "
+               "--mode cumulative|tumbling|sliding --horizon H; "
                "gen-trace: --years N --scale X\n");
   return 1;
 }
@@ -414,17 +433,40 @@ int RunStream(const char* path, const Flags& flags) {
   options.streaming.num_threads = flags.threads;
   options.window_width = flags.window;
   options.mode = flags.mode;
-  std::printf("%10s %8s %8s %12s %7s\n", "window", "arrivals", "|E|",
-              "instances", "open%");
+  options.horizon = flags.horizon;
+  const bool sliding = flags.mode == WindowMode::kSliding;
+  // Validate the option combination before printing the table header so
+  // a rejected horizon produces only the error line.
+  if (sliding && flags.horizon != 0 && flags.horizon < flags.window) {
+    std::fprintf(stderr,
+                 "--horizon must be at least the window width (%llu)\n",
+                 static_cast<unsigned long long>(flags.window));
+    return 2;
+  }
+  if (sliding) {
+    std::printf("%10s %8s %8s %8s %12s %7s\n", "window", "arrivals", "evicted",
+                "|E|", "instances", "open%");
+  } else {
+    std::printf("%10s %8s %8s %12s %7s\n", "window", "arrivals", "|E|",
+                "instances", "open%");
+  }
   auto result = ReplayTrace(
-      trace.value(), options, [](const WindowResult& window) {
+      trace.value(), options, [sliding](const WindowResult& window) {
         const double total = window.counts.Total();
-        std::printf("%10llu %8llu %8zu %12.0f %6.1f%%\n",
-                    static_cast<unsigned long long>(window.start_time),
-                    static_cast<unsigned long long>(window.arrivals),
-                    window.num_edges, total,
-                    total > 0 ? 100.0 * window.counts.TotalOpen() / total
-                              : 0.0);
+        const double open_pct =
+            total > 0 ? 100.0 * window.counts.TotalOpen() / total : 0.0;
+        if (sliding) {
+          std::printf("%10llu %8llu %8llu %8zu %12.0f %6.1f%%\n",
+                      static_cast<unsigned long long>(window.start_time),
+                      static_cast<unsigned long long>(window.arrivals),
+                      static_cast<unsigned long long>(window.evictions),
+                      window.num_edges, total, open_pct);
+        } else {
+          std::printf("%10llu %8llu %8zu %12.0f %6.1f%%\n",
+                      static_cast<unsigned long long>(window.start_time),
+                      static_cast<unsigned long long>(window.arrivals),
+                      window.num_edges, total, open_pct);
+        }
       });
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

@@ -21,6 +21,12 @@ namespace mochy {
 
 class ThreadPool;
 
+/// Cache-line size assumed for false-sharing avoidance: per-shard /
+/// per-worker state that several threads touch concurrently (e.g. the
+/// sharded ingest logs in motif/streaming.h) is aligned to this so one
+/// shard's writes never invalidate another shard's line.
+inline constexpr size_t kCacheLineBytes = 64;
+
 /// Hardware concurrency, at least 1.
 size_t DefaultThreadCount();
 

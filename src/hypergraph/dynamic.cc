@@ -57,7 +57,43 @@ Result<EdgeId> DynamicHypergraph::AddEdge(std::span<const NodeId> nodes) {
   for (const NodeId v : members_) node_edges_[v].push_back(e);
   edge_nodes_.insert(edge_nodes_.end(), members_.begin(), members_.end());
   edge_offsets_.push_back(edge_nodes_.size());
+  live_.push_back(1);
+  num_live_edges_ += 1;
+  live_pins_ += members_.size();
   return e;
+}
+
+Status DynamicHypergraph::RemoveEdge(EdgeId e) {
+  if (e >= num_edges()) {
+    return Status::InvalidArgument("edge id out of range");
+  }
+  if (live_[e] == 0) {
+    return Status::InvalidArgument("edge already removed");
+  }
+  // Reverse of AddEdge's incidence publication: erase `e` from each
+  // member's sorted edge list.
+  for (const NodeId v : edge(e)) {
+    std::vector<EdgeId>& list = node_edges_[v];
+    list.erase(std::lower_bound(list.begin(), list.end(), e));
+  }
+  // Reverse of the projection update: drop the Neighbor{e, ·} entry from
+  // each neighbor's sorted-by-id adjacency and the wedge/weight totals.
+  for (const Neighbor& n : adjacency_[e]) {
+    std::vector<Neighbor>& list = adjacency_[n.edge];
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), e,
+        [](const Neighbor& lhs, EdgeId id) { return lhs.edge < id; });
+    list.erase(it);
+    total_weight_ -= n.weight;
+    num_wedges_ -= 1;
+  }
+  // Actually release the adjacency storage: a sliding window removes
+  // edges forever, so clear() alone would strand capacity per tombstone.
+  std::vector<Neighbor>().swap(adjacency_[e]);
+  live_[e] = 0;
+  num_live_edges_ -= 1;
+  live_pins_ -= edge_size(e);
+  return Status::OK();
 }
 
 Result<EdgeId> DynamicHypergraph::AddEdge(std::initializer_list<NodeId> nodes) {
@@ -66,7 +102,9 @@ Result<EdgeId> DynamicHypergraph::AddEdge(std::initializer_list<NodeId> nodes) {
 
 Result<Hypergraph> DynamicHypergraph::Snapshot() const {
   HypergraphBuilder builder;
-  for (EdgeId e = 0; e < num_edges(); ++e) builder.AddEdge(edge(e));
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (live_[e] != 0) builder.AddEdge(edge(e));
+  }
   BuildOptions options;
   options.dedup_edges = false;
   options.num_nodes = num_nodes();
@@ -76,6 +114,9 @@ Result<Hypergraph> DynamicHypergraph::Snapshot() const {
 void DynamicHypergraph::Clear() {
   edge_offsets_.resize(1);
   edge_nodes_.clear();
+  live_.clear();
+  num_live_edges_ = 0;
+  live_pins_ = 0;
   node_edges_.clear();
   adjacency_.clear();
   num_wedges_ = 0;

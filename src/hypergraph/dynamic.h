@@ -1,14 +1,14 @@
 /// \file
-/// Append-oriented hypergraph with an incrementally maintained projection.
+/// Fully dynamic hypergraph with an incrementally maintained projection.
 ///
 /// `Hypergraph` (hypergraph.h) is immutable CSR — the right shape for the
 /// static MoCHy kernels, the wrong one for a stream of hyperedge
 /// arrivals, where rebuilding both incidence directions plus the
 /// projected graph per arrival costs O(graph) each time. DynamicHypergraph
 /// is the streaming counterpart: an append-only edge log plus growable
-/// node->edges and projection adjacency, all updated in O(Δ) per arrival,
-/// where Δ is the arriving edge's incidence and projected neighborhood —
-/// never the graph size.
+/// node->edges and projection adjacency, all updated in O(Δ) per arrival
+/// or removal, where Δ is the touched edge's incidence and projected
+/// neighborhood — never the graph size.
 ///
 /// \par What AddEdge maintains
 /// For an arriving edge `e` with member set S (sorted, deduplicated on
@@ -24,12 +24,25 @@
 ///    ProjectedGraph::Build establishes;
 ///  - the wedge count |∧| and total projection weight.
 ///
+/// \par What RemoveEdge maintains
+/// Removal is the exact inverse, in O(Δ): `e` is erased from its
+/// members' incidence lists and `Neighbor{e, ·}` from its projected
+/// neighbors' adjacency (erasing from a sorted list preserves order, and
+/// ids are never reused, so every AddEdge invariant survives). The edge
+/// id is tombstoned — `is_live(e)` turns false, the id is never
+/// reassigned — and the member log entry is retained, so callers may
+/// still read `edge(e)` of a removed edge (the streaming engine's
+/// reverse delta needs exactly that). Id space therefore grows with
+/// total arrivals, not live edges; Clear() reclaims it at window
+/// boundaries (see docs/STREAMING.md).
+///
 /// Duplicate hyperedges are retained, exactly like a static build with
 /// `dedup_edges = false`: an arrival stream has no natural dedup point,
 /// and the motif kernels already classify triples containing duplicates
-/// to id 0. Deletions are out of scope (see docs/STREAMING.md).
+/// to id 0.
 ///
-/// Not thread-safe: one writer, no concurrent readers during AddEdge.
+/// Not thread-safe: one writer, no concurrent readers during
+/// AddEdge/RemoveEdge.
 #ifndef MOCHY_HYPERGRAPH_DYNAMIC_H_
 #define MOCHY_HYPERGRAPH_DYNAMIC_H_
 
@@ -54,14 +67,22 @@ class DynamicHypergraph {
   /// max count as nodes, as in the static builder).
   size_t num_nodes() const { return node_edges_.size(); }
 
-  /// Number of hyperedges appended so far.
+  /// Size of the edge-id space: hyperedges appended so far, including
+  /// removed (tombstoned) ids. Valid edge ids are [0, num_edges()).
   size_t num_edges() const { return edge_offsets_.size() - 1; }
 
-  /// Sum of hyperedge sizes (the number of (node, edge) incidences).
-  uint64_t num_pins() const { return edge_nodes_.size(); }
+  /// Number of edges currently in the graph (appended and not removed).
+  size_t num_live_edges() const { return num_live_edges_; }
+
+  /// Whether edge id `e` is currently in the graph (false once removed).
+  bool is_live(EdgeId e) const { return live_[e] != 0; }
+
+  /// Sum of live hyperedge sizes (the number of (node, edge) incidences).
+  uint64_t num_pins() const { return live_pins_; }
 
   /// Members of hyperedge `e`, sorted ascending, within-edge duplicates
-  /// removed on ingest.
+  /// removed on ingest. Readable for removed edges too (the log entry is
+  /// retained), though such an edge is no longer part of the graph.
   std::span<const NodeId> edge(EdgeId e) const {
     return {edge_nodes_.data() + edge_offsets_[e],
             edge_nodes_.data() + edge_offsets_[e + 1]};
@@ -104,10 +125,19 @@ class DynamicHypergraph {
   /// Convenience overload of AddEdge for brace-list members.
   Result<EdgeId> AddEdge(std::initializer_list<NodeId> nodes);
 
-  /// Freezes the current state into an immutable CSR Hypergraph —
-  /// bit-equal to building the same edge sequence statically with
-  /// `dedup_edges = false`. O(graph); meant for oracles, checkpoints and
-  /// tests, not per-arrival paths.
+  /// Removes a live hyperedge and reverses every structure AddEdge
+  /// maintained, in O(Σ_{v∈e} |E_v| + Σ_{a∈N(e)} log |N(a)|): `e` leaves
+  /// its members' incidence lists, `Neighbor{e, ·}` leaves each
+  /// projected neighbor's adjacency, |∧| and the total weight shrink
+  /// accordingly. The id is tombstoned, never reused; the member log
+  /// entry stays readable. InvalidArgument for out-of-range or already
+  /// removed ids.
+  Status RemoveEdge(EdgeId e);
+
+  /// Freezes the current state into an immutable CSR Hypergraph — the
+  /// live edges in id (= arrival) order, bit-equal to building that edge
+  /// sequence statically with `dedup_edges = false`. O(graph); meant for
+  /// oracles, checkpoints and tests, not per-arrival paths.
   Result<Hypergraph> Snapshot() const;
 
   /// Drops all edges, nodes and counters (capacity is retained), e.g. at
@@ -115,10 +145,14 @@ class DynamicHypergraph {
   void Clear();
 
  private:
-  // Edge log in CSR form; append-only.
+  // Edge log in CSR form; append-only (removal only tombstones).
   std::vector<uint64_t> edge_offsets_ = {0};
   std::vector<NodeId> edge_nodes_;
-  // Growable incidence and projection adjacency.
+  // live_[e] == 0 once RemoveEdge(e) ran; parallel to the edge log.
+  std::vector<uint8_t> live_;
+  size_t num_live_edges_ = 0;
+  uint64_t live_pins_ = 0;
+  // Growable incidence and projection adjacency (live edges only).
   std::vector<std::vector<EdgeId>> node_edges_;
   std::vector<std::vector<Neighbor>> adjacency_;
   uint64_t num_wedges_ = 0;

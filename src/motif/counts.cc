@@ -33,6 +33,11 @@ MotifCounts& MotifCounts::operator+=(const MotifCounts& other) {
   return *this;
 }
 
+MotifCounts& MotifCounts::operator-=(const MotifCounts& other) {
+  for (int i = 0; i < kNumHMotifs; ++i) counts_[i] -= other.counts_[i];
+  return *this;
+}
+
 MotifCounts& MotifCounts::operator*=(double factor) {
   for (double& c : counts_) c *= factor;
   return *this;

@@ -29,6 +29,9 @@ class MotifCounts {
   double TotalClosed() const;
 
   MotifCounts& operator+=(const MotifCounts& other);
+  /// Element-wise subtraction: the decremental-streaming merge (exact for
+  /// integral counts, the only values the streaming paths subtract).
+  MotifCounts& operator-=(const MotifCounts& other);
   MotifCounts& operator*=(double factor);
 
   /// Element-wise average of several count vectors.

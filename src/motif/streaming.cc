@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/scratch_arena.h"
 #include "common/timer.h"
@@ -14,15 +15,18 @@
 namespace mochy {
 
 std::string StreamingStats::ToString() const {
-  char buffer[200];
+  char buffer[240];
+  const uint64_t updates = arrivals + removals;
   const double rate =
-      elapsed_seconds > 0.0 ? static_cast<double>(arrivals) / elapsed_seconds
+      elapsed_seconds > 0.0 ? static_cast<double>(updates) / elapsed_seconds
                             : 0.0;
   std::snprintf(buffer, sizeof(buffer),
-                "arrivals=%llu instances=%llu wedges=%llu threads=%zu "
-                "elapsed=%.3fs (%.0f arrivals/s)",
+                "arrivals=%llu removals=%llu instances=+%llu/-%llu "
+                "wedges=%llu threads=%zu elapsed=%.3fs (%.0f updates/s)",
                 static_cast<unsigned long long>(arrivals),
+                static_cast<unsigned long long>(removals),
                 static_cast<unsigned long long>(new_instances),
+                static_cast<unsigned long long>(removed_instances),
                 static_cast<unsigned long long>(num_wedges), num_threads,
                 elapsed_seconds, rate);
   return buffer;
@@ -45,8 +49,11 @@ Result<EdgeId> StreamingEngine::AddEdge(std::span<const NodeId> nodes) {
   Timer timer;
   auto added = graph_.AddEdge(nodes);
   if (!added.ok()) return added.status();
-  CountDelta(added.value());
+  const DeltaCounters delta = EnumerateDelta(added.value());
+  counts_ += delta.counts;
   stats_.arrivals += 1;
+  stats_.candidate_triples += delta.candidates;
+  stats_.new_instances += delta.instances;
   stats_.num_wedges = graph_.num_wedges();
   stats_.elapsed_seconds += timer.Seconds();
   return added;
@@ -54,6 +61,28 @@ Result<EdgeId> StreamingEngine::AddEdge(std::span<const NodeId> nodes) {
 
 Result<EdgeId> StreamingEngine::AddEdge(std::initializer_list<NodeId> nodes) {
   return AddEdge(std::span<const NodeId>(nodes.begin(), nodes.size()));
+}
+
+Status StreamingEngine::RemoveEdge(EdgeId e) {
+  Timer timer;
+  if (e >= graph_.num_edges() || !graph_.is_live(e)) {
+    return Status::InvalidArgument("edge id not live");
+  }
+  // Enumerate while `e` is still in the graph: the arrival pass lists
+  // exactly the instances containing `e`, which — node sets never
+  // mutate in place — are exactly the instances the removal destroys.
+  // The counts are small integers held in doubles, so the subtraction
+  // reverses the earlier additions bit-exactly.
+  const DeltaCounters delta = EnumerateDelta(e);
+  counts_ -= delta.counts;
+  Status removed = graph_.RemoveEdge(e);
+  MOCHY_DCHECK(removed.ok());
+  stats_.removals += 1;
+  stats_.candidate_triples += delta.candidates;
+  stats_.removed_instances += delta.instances;
+  stats_.num_wedges = graph_.num_wedges();
+  stats_.elapsed_seconds += timer.Seconds();
+  return removed;
 }
 
 void StreamingEngine::Reset() {
@@ -147,9 +176,13 @@ void StreamingEngine::CountDeltaRange(EdgeId e, size_t begin, size_t end,
   }
 }
 
-void StreamingEngine::CountDelta(EdgeId e) {
+// Enumerates the motif instances containing `e` in the current graph:
+// the delta an arrival adds and, symmetrically, the delta a removal
+// subtracts (callers apply the sign). `e` must be live.
+StreamingEngine::DeltaCounters StreamingEngine::EnumerateDelta(EdgeId e) {
+  DeltaCounters total;
   const auto nbrs = graph_.neighbors(e);
-  if (nbrs.empty()) return;
+  if (nbrs.empty()) return total;
 
   // Estimated delta work, mirroring the static hub estimate |N|²: the
   // pair loop is |N(e)|² and each neighbor's adjacency is swept once.
@@ -157,7 +190,6 @@ void StreamingEngine::CountDelta(EdgeId e) {
       static_cast<uint64_t>(nbrs.size()) * static_cast<uint64_t>(nbrs.size());
   for (const Neighbor& n : nbrs) estimate += graph_.projected_degree(n.edge);
 
-  DeltaCounters total;
   if (resolved_threads_ > 1 && nbrs.size() >= 2 &&
       estimate >= options_.parallel_work_threshold) {
     const size_t workers = std::min(resolved_threads_, nbrs.size());
@@ -194,9 +226,7 @@ void StreamingEngine::CountDelta(EdgeId e) {
     PrepareDeltaScratch(e, arena);
     CountDeltaRange(e, 0, nbrs.size(), arena, total);
   }
-  counts_ += total.counts;
-  stats_.candidate_triples += total.candidates;
-  stats_.new_instances += total.instances;
+  return total;
 }
 
 Result<ReplayResult> ReplayTrace(
@@ -204,6 +234,13 @@ Result<ReplayResult> ReplayTrace(
     std::function<void(const WindowResult&)> observer) {
   if (options.window_width == 0) {
     return Status::InvalidArgument("window_width must be positive");
+  }
+  const bool sliding = options.mode == WindowMode::kSliding;
+  const uint64_t horizon =
+      options.horizon == 0 ? options.window_width : options.horizon;
+  if (sliding && horizon < options.window_width) {
+    return Status::InvalidArgument(
+        "sliding horizon must be at least window_width");
   }
   if (Status s = trace.Validate(); !s.ok()) return s;
 
@@ -216,6 +253,10 @@ Result<ReplayResult> ReplayTrace(
 
   constexpr uint64_t kMaxTime = std::numeric_limits<uint64_t>::max();
   const uint64_t origin = trace.arrivals.front().time;
+  // kSliding: the live edges oldest-first, as (engine edge id, arrival
+  // time). Arrival order is time order (Validate), so eviction only
+  // ever pops from the front.
+  std::deque<std::pair<EdgeId, uint64_t>> live;
   size_t index = 0;
   while (index < trace.size()) {
     // Jump to the grid window containing the next arrival: gaps emit no
@@ -231,6 +272,22 @@ Result<ReplayResult> ReplayTrace(
     const uint64_t window_end =
         saturated ? kMaxTime : window_start + options.window_width;
     if (options.mode == WindowMode::kTumbling) engine.Reset();
+    uint64_t evictions = 0;
+    if (sliding) {
+      // Age out everything the closing window must not count: edges
+      // older than `horizon` relative to this window's end leave the
+      // graph through the decremental pass. Arrivals of this window are
+      // never younger than the cutoff (horizon ≥ width), so evicting
+      // before ingesting them is equivalent and keeps the deque simple.
+      const uint64_t cutoff = window_end >= horizon ? window_end - horizon : 0;
+      while (!live.empty() && live.front().second < cutoff) {
+        if (Status s = engine.RemoveEdge(live.front().first); !s.ok()) {
+          return s;
+        }
+        live.pop_front();
+        ++evictions;
+      }
+    }
     uint64_t arrivals = 0;
     while (index < trace.size() &&
            (saturated || trace.arrivals[index].time < window_end)) {
@@ -238,6 +295,7 @@ Result<ReplayResult> ReplayTrace(
       auto added = engine.AddEdge(std::span<const NodeId>(
           arrival.nodes.data(), arrival.nodes.size()));
       if (!added.ok()) return added.status();
+      if (sliding) live.emplace_back(added.value(), arrival.time);
       ++arrivals;
       ++index;
     }
@@ -245,13 +303,106 @@ Result<ReplayResult> ReplayTrace(
     window.start_time = window_start;
     window.end_time = window_end;
     window.arrivals = arrivals;
-    window.num_edges = engine.graph().num_edges();
+    window.evictions = evictions;
+    window.num_edges = engine.graph().num_live_edges();
     window.counts = engine.counts();
     if (observer) observer(window);
     result.windows.push_back(std::move(window));
   }
   result.stats = engine.stats();
   return result;
+}
+
+ShardedStreamingEngine::ShardedStreamingEngine(size_t num_shards,
+                                               const StreamingOptions& options)
+    : engine_(options) {
+  if (num_shards == 0) num_shards = 1;
+  for (size_t s = 0; s < num_shards; ++s) shards_.emplace_back();
+}
+
+Status ShardedStreamingEngine::Submit(size_t shard,
+                                      std::span<const NodeId> nodes) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  Shard& slot = shards_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.staged.emplace_back(nodes.begin(), nodes.end());
+  return Status::OK();
+}
+
+Status ShardedStreamingEngine::Submit(size_t shard,
+                                      std::initializer_list<NodeId> nodes) {
+  return Submit(shard, std::span<const NodeId>(nodes.begin(), nodes.size()));
+}
+
+// The linearization point of every submitted edge is its AddEdge call
+// below: engine_mutex_ is held, so applications are totally ordered,
+// and the swap takes each shard's staged log in submission order.
+size_t ShardedStreamingEngine::DrainLocked() {
+  size_t applied = 0;
+  for (Shard& shard : shards_) {
+    {
+      // Take the whole staged log in one swap so producers only block
+      // for the pointer exchange, never for the counting work.
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.draining.swap(shard.staged);
+    }
+    for (const std::vector<NodeId>& nodes : shard.draining) {
+      const MotifCounts before = engine_.counts();
+      auto added = engine_.AddEdge(
+          std::span<const NodeId>(nodes.data(), nodes.size()));
+      if (!added.ok()) {
+        dropped_ += 1;
+        continue;
+      }
+      // Record the arrival's exact count delta against the shard so the
+      // per-shard vectors stay mergeable: Σ_s delta_s == counts.
+      MotifCounts delta = engine_.counts();
+      delta -= before;
+      shard.delta += delta;
+      ++applied;
+    }
+    shard.draining.clear();
+  }
+  return applied;
+}
+
+size_t ShardedStreamingEngine::Drain() {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  return DrainLocked();
+}
+
+MotifCounts ShardedStreamingEngine::Counts() {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  DrainLocked();
+  return engine_.counts();
+}
+
+MotifCounts ShardedStreamingEngine::ShardDelta(size_t shard) {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  DrainLocked();
+  MOCHY_DCHECK(shard < shards_.size());
+  if (shard >= shards_.size()) return MotifCounts();
+  return shards_[shard].delta;
+}
+
+StreamingStats ShardedStreamingEngine::Stats() {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  DrainLocked();
+  return engine_.stats();
+}
+
+Result<Hypergraph> ShardedStreamingEngine::Snapshot() {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  DrainLocked();
+  return engine_.graph().Snapshot();
+}
+
+uint64_t ShardedStreamingEngine::dropped_submissions() {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  DrainLocked();
+  return dropped_;
 }
 
 }  // namespace mochy

@@ -460,8 +460,12 @@ void MotifServer::HandleConnection(int fd) {
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     --active_connections_;
+    // Notify while holding the mutex: the drain loop in Serve() cannot
+    // observe active_connections_ == 0 (and let the caller destroy this
+    // server, condition variable included) until this thread is fully
+    // done with the condition variable.
+    connections_done_.notify_all();
   }
-  connections_done_.notify_all();
 }
 
 Status MotifServer::Serve() {

@@ -298,6 +298,82 @@ TEST(MotifServerTest, ProfileAndSimilarityShareCachedBodies) {
   EXPECT_EQ(cold.substr(cold.find('\n')), warm.substr(warm.find('\n')));
 }
 
+TEST(MotifServerTest, ManyConcurrentClientsGetBitIdenticalResponses) {
+  // The many-clients-one-graph hammer: 8 client threads fire the same
+  // mix of count and profile queries at one server for several rounds.
+  // Whatever the interleaving — cold computes racing cached reads —
+  // every response body must be bit-identical for the same request
+  // string, and the cache counters must add up afterwards.
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", TestGraph()).ok());
+  const std::vector<std::string> requests = {
+      "count g algorithm=exact",
+      "count g algorithm=link-sample samples=300 seed=7",
+      "profile g random=2 seed=3 ratio=0.2",
+  };
+  constexpr size_t kClients = 8;
+  constexpr size_t kRounds = 5;
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &requests, &responses, c] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        for (const std::string& request : requests) {
+          responses[c].push_back(server.HandleRequest(request));
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Everything after the header's cached= flag must be identical —
+  // except wall-clock metadata lines ("batch items=... elapsed=..."):
+  // clients racing a cold cache compute independently and measure
+  // different timings around bit-identical count vectors.
+  const auto body = [](const std::string& response) {
+    std::string out;
+    size_t pos = response.find('\n');
+    while (pos != std::string::npos) {
+      const size_t end = response.find('\n', pos + 1);
+      const std::string line = response.substr(
+          pos, end == std::string::npos ? std::string::npos : end - pos);
+      if (line.find("elapsed=") == std::string::npos) out += line;
+      pos = end;
+    }
+    return out;
+  };
+  for (size_t q = 0; q < requests.size(); ++q) {
+    const std::string want = body(responses[0][q]);
+    for (size_t c = 0; c < kClients; ++c) {
+      for (size_t r = 0; r < kRounds; ++r) {
+        const std::string& got = responses[c][r * requests.size() + q];
+        ASSERT_EQ(got.rfind("ok ", 0), 0u) << got;
+        EXPECT_EQ(body(got), want)
+            << "client " << c << " round " << r << ": " << requests[q];
+      }
+    }
+    // A client's own earlier Put is visible to its later rounds, so the
+    // final round is a guaranteed cache hit for every client.
+    for (size_t c = 0; c < kClients; ++c) {
+      const std::string& last =
+          responses[c][(kRounds - 1) * requests.size() + q];
+      EXPECT_NE(last.find("cached=1"), std::string::npos)
+          << "client " << c << ": " << requests[q];
+    }
+  }
+
+  // Coherent counters: every query consulted the cache exactly once,
+  // nothing errored, and each distinct request missed at least once.
+  const ServerStats stats = server.stats();
+  const uint64_t total = kClients * kRounds * requests.size();
+  EXPECT_EQ(stats.queries, total);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, total);
+  EXPECT_GE(stats.cache.misses, requests.size());
+  EXPECT_GE(stats.cache.hits, kClients * (kRounds - 1) * requests.size());
+  EXPECT_GE(stats.cache.entries, requests.size());
+}
+
 TEST(MotifServerTest, MalformedRequestsBecomeErrorResponses) {
   MotifServer server{ServeOptions{}};
   ASSERT_TRUE(server.LoadGraph("g", TestGraph()).ok());

@@ -1,18 +1,29 @@
 // Prefix-equivalence and unit tests for the streaming counting subsystem
 // (hypergraph/dynamic.h, hypergraph/temporal_trace.h, motif/streaming.h).
 //
-// The load-bearing property: after EVERY arrival of a replayed temporal
-// trace, StreamingEngine's 26-motif count vector must be BIT-identical to
-// recounting a frozen snapshot of the same edge multiset from scratch
-// with the retained oracle kernel (reference::CountMotifsExact). Counts
-// are integers, so the comparisons use EXPECT_EQ, not tolerances. Traces
-// cover skewed edge sizes, exact duplicate arrivals, and multiple engine
-// thread counts.
+// The load-bearing property: after EVERY arrival *and removal* of a
+// random interleaving, StreamingEngine's 26-motif count vector must be
+// BIT-identical to recounting a frozen snapshot of the same edge
+// multiset from scratch with the retained oracle kernel
+// (reference::CountMotifsExact). Counts are integers, so the
+// comparisons use EXPECT_EQ, not tolerances. Schedules cover skewed
+// edge sizes, exact duplicate arrivals, removal-heavy churn, sliding
+// windows and multiple engine thread counts.
+//
+// Seed reproduction: the randomized tests draw their schedules from
+// testing::RandomDynamicSchedule / RandomTrace, which are pure
+// functions of their arguments. A failure message names the op index
+// and prefix; to reproduce, rerun the test (the seeds are compiled-in
+// constants, so the same binary always replays the same schedule), or
+// paste the generator call with the test's seed into a scratch test to
+// shrink it. Nothing in the suite depends on time, thread timing or
+// iteration order of unordered containers.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -140,6 +151,81 @@ TEST(DynamicHypergraphTest, SnapshotEqualsStaticBuild) {
   EXPECT_EQ(first[2], 5u);
 }
 
+TEST(DynamicHypergraphTest, RemoveEdgeReversesEveryStructure) {
+  const TemporalTrace trace = RandomTrace(25, 60, 7, 19);
+  DynamicHypergraph dynamic;
+  std::vector<EdgeId> ids;
+  for (const TimedEdge& arrival : trace.arrivals) {
+    ids.push_back(dynamic
+                      .AddEdge(std::span<const NodeId>(arrival.nodes.data(),
+                                                       arrival.nodes.size()))
+                      .value());
+  }
+  // Remove every third edge, oldest first.
+  std::vector<bool> removed(ids.size(), false);
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(dynamic.RemoveEdge(ids[i]).ok());
+    removed[i] = true;
+  }
+  EXPECT_EQ(dynamic.num_edges(), ids.size());  // id space keeps tombstones
+  EXPECT_EQ(dynamic.num_live_edges(), ids.size() - (ids.size() + 2) / 3);
+
+  // The survivor graph must equal a from-scratch build of the survivors:
+  // same incidence, same projection (weights, order, totals).
+  HypergraphBuilder builder;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!removed[i]) builder.AddEdge(dynamic.edge(ids[i]));
+  }
+  BuildOptions options;
+  options.dedup_edges = false;
+  options.num_nodes = dynamic.num_nodes();
+  const Hypergraph want = std::move(builder).Build(options).value();
+  const auto projection = ProjectedGraph::Build(want, 1).value();
+  EXPECT_EQ(dynamic.num_wedges(), projection.num_wedges());
+  EXPECT_EQ(dynamic.total_weight(), projection.total_weight());
+  EXPECT_EQ(dynamic.num_pins(), want.num_pins());
+  EdgeId compact = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (removed[i]) {
+      EXPECT_FALSE(dynamic.is_live(ids[i]));
+      EXPECT_EQ(dynamic.projected_degree(ids[i]), 0u);
+      continue;
+    }
+    const auto got = dynamic.neighbors(ids[i]);
+    const auto exp = projection.neighbors(compact);
+    ASSERT_EQ(got.size(), exp.size()) << "neighbors of live edge " << i;
+    for (size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].weight, exp[k].weight)
+          << "weight of neighbor " << k << " of live edge " << i;
+    }
+    ++compact;
+  }
+
+  // Snapshot contains exactly the survivors, in id order.
+  const Hypergraph snapshot = dynamic.Snapshot().value();
+  ASSERT_EQ(snapshot.num_edges(), want.num_edges());
+  for (EdgeId e = 0; e < want.num_edges(); ++e) {
+    const auto got = snapshot.edge(e);
+    const auto exp = want.edge(e);
+    ASSERT_EQ(got.size(), exp.size()) << "snapshot edge " << e;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), exp.begin()))
+        << "snapshot edge " << e;
+  }
+}
+
+TEST(DynamicHypergraphTest, RemoveEdgeRejectsBadIds) {
+  DynamicHypergraph dynamic;
+  EXPECT_FALSE(dynamic.RemoveEdge(0).ok());  // empty graph
+  const EdgeId e = dynamic.AddEdge({0, 1, 2}).value();
+  EXPECT_FALSE(dynamic.RemoveEdge(e + 1).ok());  // out of range
+  ASSERT_TRUE(dynamic.RemoveEdge(e).ok());
+  EXPECT_FALSE(dynamic.RemoveEdge(e).ok());  // already removed
+  EXPECT_EQ(dynamic.num_live_edges(), 0u);
+  EXPECT_EQ(dynamic.num_pins(), 0u);
+  // Tombstoned ids are never reused: a later arrival gets a fresh id.
+  EXPECT_EQ(dynamic.AddEdge({3, 4}).value(), e + 1);
+}
+
 TEST(DynamicHypergraphTest, RejectsEmptyEdgeAndGrowsNodes) {
   DynamicHypergraph dynamic;
   EXPECT_FALSE(dynamic.AddEdge(std::span<const NodeId>()).ok());
@@ -248,6 +334,184 @@ TEST(StreamingEngineTest, DuplicateArrivalsCreateNoPhantomInstances) {
 }
 
 // ---------------------------------------------------------------------
+// StreamingEngine: decremental counting
+
+TEST(StreamingEngineTest, RemoveEdgeMatchesOracleAfterEveryRemoval) {
+  // Ingest a trace, then peel edges off in a scrambled order, checking
+  // the counts against a fresh oracle recount after every removal, all
+  // the way down to the empty graph (which must read exactly zero).
+  const TemporalTrace trace = RandomTrace(28, 70, 8, 131);
+  StreamingEngine engine;
+  std::vector<EdgeId> ids;
+  for (const TimedEdge& arrival : trace.arrivals) {
+    ids.push_back(engine
+                      .AddEdge(std::span<const NodeId>(arrival.nodes.data(),
+                                                       arrival.nodes.size()))
+                      .value());
+  }
+  Rng rng(131);
+  rng.Shuffle(ids);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(engine.RemoveEdge(ids[i]).ok());
+    const Hypergraph snapshot = engine.graph().Snapshot().value();
+    ExpectBitIdentical(engine.counts(), OracleCounts(snapshot),
+                       "after removal " + std::to_string(i + 1));
+  }
+  EXPECT_EQ(engine.graph().num_live_edges(), 0u);
+  EXPECT_EQ(engine.counts().Total(), 0.0);
+  EXPECT_EQ(engine.stats().removals, trace.size());
+  EXPECT_EQ(engine.stats().new_instances, engine.stats().removed_instances);
+}
+
+TEST(StreamingEngineTest, RemoveEdgeRejectsBadIds) {
+  StreamingEngine engine;
+  EXPECT_FALSE(engine.RemoveEdge(0).ok());
+  const EdgeId e = engine.AddEdge({0, 1, 2}).value();
+  EXPECT_FALSE(engine.RemoveEdge(e + 5).ok());
+  ASSERT_TRUE(engine.RemoveEdge(e).ok());
+  EXPECT_FALSE(engine.RemoveEdge(e).ok());
+  EXPECT_EQ(engine.stats().removals, 1u);
+}
+
+// The PR's acceptance property: a 1000-op random add/remove
+// interleaving, counts bit-identical to the oracle after EVERY prefix,
+// at thread counts 1, 2 and DefaultThreadCount(). The multi-threaded
+// engines run in lockstep with the threads=1 engine and must agree
+// bitwise after every op; the threads=1 engine is compared against the
+// oracle recount, which transitively pins all three to it while paying
+// the O(graph) recount once per prefix. Reproduce with seed 227 (see
+// the file header for the workflow).
+TEST(StreamingEngineTest, RandomInterleavingMatchesOracleAtEveryPrefix) {
+  constexpr uint64_t kSeed = 227;
+  const std::vector<testing::DynamicOp> schedule =
+      testing::RandomDynamicSchedule(/*num_ops=*/1000, /*num_nodes=*/26,
+                                     /*max_edge_size=*/7,
+                                     /*remove_ratio=*/0.45,
+                                     /*query_ratio=*/0.0, kSeed);
+
+  StreamingOptions forced;
+  forced.parallel_work_threshold = 1;  // fan out on every update
+  std::vector<StreamingEngine> engines;
+  engines.emplace_back(StreamingOptions{});  // threads = 1
+  forced.num_threads = 2;
+  engines.emplace_back(forced);
+  forced.num_threads = DefaultThreadCount();
+  engines.emplace_back(forced);
+
+  std::vector<EdgeId> live;  // engine ids of live edges, insertion order
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const testing::DynamicOp& op = schedule[i];
+    if (op.kind == testing::DynamicOp::Kind::kAdd) {
+      EdgeId id = 0;
+      for (size_t k = 0; k < engines.size(); ++k) {
+        auto added = engines[k].AddEdge(
+            std::span<const NodeId>(op.nodes.data(), op.nodes.size()));
+        ASSERT_TRUE(added.ok()) << "op " << i << " engine " << k;
+        // Ids are assigned by arrival order, so all engines agree.
+        if (k == 0) id = added.value();
+        ASSERT_EQ(added.value(), id) << "op " << i << " engine " << k;
+      }
+      live.push_back(id);
+    } else if (op.kind == testing::DynamicOp::Kind::kRemove) {
+      ASSERT_LT(op.remove_index, live.size()) << "op " << i;
+      const EdgeId id = live[op.remove_index];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(op.remove_index));
+      for (size_t k = 0; k < engines.size(); ++k) {
+        ASSERT_TRUE(engines[k].RemoveEdge(id).ok())
+            << "op " << i << " engine " << k;
+      }
+    }
+    const Hypergraph snapshot = engines[0].graph().Snapshot().value();
+    ASSERT_EQ(snapshot.num_edges(), live.size()) << "op " << i;
+    ExpectBitIdentical(engines[0].counts(), OracleCounts(snapshot),
+                       "prefix " + std::to_string(i + 1) + " (seed 227)");
+    for (size_t k = 1; k < engines.size(); ++k) {
+      ExpectBitIdentical(engines[k].counts(), engines[0].counts(),
+                         "prefix " + std::to_string(i + 1) + " engine " +
+                             std::to_string(k) + " (seed 227)");
+    }
+    if (::testing::Test::HasFailure()) break;  // first divergence is enough
+  }
+
+  // Drain-down sweep: remove the remaining live edges one by one; the
+  // reverse deltas must walk the counts exactly back to all-zero.
+  while (!live.empty()) {
+    const EdgeId id = live.back();
+    live.pop_back();
+    for (StreamingEngine& engine : engines) {
+      ASSERT_TRUE(engine.RemoveEdge(id).ok());
+    }
+    ExpectBitIdentical(engines[1].counts(), engines[0].counts(), "drain");
+    ExpectBitIdentical(engines[2].counts(), engines[0].counts(), "drain");
+  }
+  for (const StreamingEngine& engine : engines) {
+    EXPECT_EQ(engine.counts().Total(), 0.0);
+    EXPECT_EQ(engine.graph().num_live_edges(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// ShardedStreamingEngine: multi-producer ingest
+
+TEST(ShardedStreamingEngineTest, ConcurrentProducersMatchOracle) {
+  // k producer threads blast disjoint slices of one trace into their
+  // own shards while a drainer thread folds staged arrivals into the
+  // engine mid-flight. After the final drain the counts must be
+  // bit-identical to the oracle recount — the multiset of applied edges
+  // is schedule-independent even though the interleaving is not.
+  const TemporalTrace trace = RandomTrace(32, 120, 8, 167);
+  constexpr size_t kProducers = 4;
+  ShardedStreamingEngine sharded(kProducers);
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = p; i < trace.size(); i += kProducers) {
+        const auto& nodes = trace.arrivals[i].nodes;
+        ASSERT_TRUE(sharded
+                        .Submit(p, std::span<const NodeId>(nodes.data(),
+                                                           nodes.size()))
+                        .ok());
+      }
+    });
+  }
+  std::thread drainer([&] {
+    for (int round = 0; round < 8; ++round) sharded.Drain();
+  });
+  for (std::thread& t : producers) t.join();
+  drainer.join();
+
+  const Hypergraph snapshot = sharded.Snapshot().value();  // drains first
+  EXPECT_EQ(snapshot.num_edges(), trace.size());
+  ExpectBitIdentical(sharded.Counts(), OracleCounts(snapshot),
+                     "sharded vs oracle");
+  EXPECT_EQ(sharded.Stats().arrivals, trace.size());
+  EXPECT_EQ(sharded.dropped_submissions(), 0u);
+
+  // Per-shard delta vectors are mergeable: they sum bit-exactly to the
+  // total, and every shard that applied an instance-creating arrival
+  // contributed its own exact share.
+  MotifCounts merged;
+  for (size_t p = 0; p < kProducers; ++p) merged += sharded.ShardDelta(p);
+  ExpectBitIdentical(merged, sharded.Counts(), "shard deltas sum");
+}
+
+TEST(ShardedStreamingEngineTest, RejectsBadShardAndDropsBadEdges) {
+  ShardedStreamingEngine sharded(2);
+  EXPECT_FALSE(sharded.Submit(2, {0, 1}).ok());  // shard out of range
+  ASSERT_TRUE(sharded.Submit(0, {0, 1, 2}).ok());
+  ASSERT_TRUE(sharded.Submit(1, std::span<const NodeId>()).ok());  // staged...
+  EXPECT_EQ(sharded.Drain(), 1u);  // ...but dropped at the linearization point
+  EXPECT_EQ(sharded.dropped_submissions(), 1u);
+  EXPECT_EQ(sharded.Stats().arrivals, 1u);
+  // Zero shards clamps to one staging slot instead of an unusable engine.
+  ShardedStreamingEngine degenerate(0);
+  EXPECT_EQ(degenerate.num_shards(), 1u);
+  ASSERT_TRUE(degenerate.Submit(0, {3, 4}).ok());
+  EXPECT_EQ(degenerate.Drain(), 1u);
+}
+
+// ---------------------------------------------------------------------
 // ReplayTrace: windows
 
 TEST(ReplayTraceTest, CumulativeWindowsMatchPrefixRecounts) {
@@ -333,6 +597,83 @@ TEST(ReplayTraceTest, SkipsEmptyWindowsAndValidates) {
   EXPECT_FALSE(ReplayTrace(decreasing, options).ok());
 
   EXPECT_TRUE(ReplayTrace(TemporalTrace{}, options).value().windows.empty());
+}
+
+TEST(ReplayTraceTest, SlidingWithDefaultHorizonMatchesTumbling) {
+  // horizon == window_width makes the sliding live set exactly the
+  // closing window's own arrivals, so the emitted series must be
+  // bit-identical to a tumbling replay of the same trace — but computed
+  // by eviction instead of rebuild.
+  const TemporalTrace trace = RandomTrace(30, 90, 7, 191);
+  ReplayOptions options;
+  options.window_width = 4;
+  options.mode = WindowMode::kTumbling;
+  const ReplayResult tumbling = ReplayTrace(trace, options).value();
+  options.mode = WindowMode::kSliding;  // horizon = 0 -> window_width
+  const ReplayResult sliding = ReplayTrace(trace, options).value();
+
+  ASSERT_EQ(sliding.windows.size(), tumbling.windows.size());
+  uint64_t evictions = 0;
+  for (size_t i = 0; i < sliding.windows.size(); ++i) {
+    EXPECT_EQ(sliding.windows[i].start_time, tumbling.windows[i].start_time);
+    EXPECT_EQ(sliding.windows[i].arrivals, tumbling.windows[i].arrivals);
+    EXPECT_EQ(sliding.windows[i].num_edges, tumbling.windows[i].num_edges);
+    ExpectBitIdentical(sliding.windows[i].counts, tumbling.windows[i].counts,
+                       "sliding vs tumbling window " + std::to_string(i));
+    evictions += sliding.windows[i].evictions;
+  }
+  // Everything not in the last window was evicted along the way.
+  EXPECT_EQ(evictions + sliding.windows.back().num_edges, trace.size());
+  EXPECT_EQ(sliding.stats.removals, evictions);
+}
+
+TEST(ReplayTraceTest, SlidingHorizonMatchesTrailingRecount) {
+  // Overlapping windows (horizon = 2 widths): at every close T the live
+  // graph must be exactly the arrivals with time in [T - horizon, T),
+  // and the counts the oracle recount of that trailing slice.
+  const TemporalTrace trace = RandomTrace(28, 80, 7, 199);
+  ReplayOptions options;
+  options.window_width = 3;
+  options.horizon = 6;
+  options.mode = WindowMode::kSliding;
+  const ReplayResult result = ReplayTrace(trace, options).value();
+  ASSERT_FALSE(result.windows.empty());
+
+  for (const WindowResult& window : result.windows) {
+    const uint64_t cutoff =
+        window.end_time >= options.horizon ? window.end_time - options.horizon
+                                           : 0;
+    DynamicHypergraph trailing;
+    for (const TimedEdge& arrival : trace.arrivals) {
+      if (arrival.time >= window.end_time) break;
+      if (arrival.time < cutoff) continue;
+      ASSERT_TRUE(trailing
+                      .AddEdge(std::span<const NodeId>(arrival.nodes.data(),
+                                                       arrival.nodes.size()))
+                      .ok());
+    }
+    EXPECT_EQ(window.num_edges, trailing.num_live_edges());
+    ExpectBitIdentical(
+        window.counts, OracleCounts(trailing.Snapshot().value()),
+        "trailing window [" + std::to_string(window.start_time) + ", " +
+            std::to_string(window.end_time) + ")");
+  }
+}
+
+TEST(ReplayTraceTest, SlidingRejectsHorizonBelowWidth) {
+  TemporalTrace trace;
+  trace.arrivals.push_back(TimedEdge{0, {0, 1}});
+  ReplayOptions options;
+  options.mode = WindowMode::kSliding;
+  options.window_width = 5;
+  options.horizon = 4;  // arrivals would expire before their window closed
+  EXPECT_FALSE(ReplayTrace(trace, options).ok());
+  options.horizon = 5;
+  EXPECT_TRUE(ReplayTrace(trace, options).ok());
+  // Non-sliding modes ignore the horizon instead of rejecting it.
+  options.mode = WindowMode::kCumulative;
+  options.horizon = 1;
+  EXPECT_TRUE(ReplayTrace(trace, options).ok());
 }
 
 // ---------------------------------------------------------------------

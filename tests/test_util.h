@@ -1,11 +1,13 @@
 // Shared test helpers: an independent brute-force h-motif counter (direct
 // set algebra over all O(|E|^3) triples, no projected graph, no
-// inclusion-exclusion) and small random-hypergraph generators for
-// property-style sweeps.
+// inclusion-exclusion), small random-hypergraph generators for
+// property-style sweeps, and a seeded add/remove/query schedule
+// generator for fuzzing dynamic engines (RandomDynamicSchedule).
 #ifndef MOCHY_TESTS_TEST_UTIL_H_
 #define MOCHY_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <set>
 #include <vector>
 
@@ -113,6 +115,67 @@ inline Hypergraph RandomHypergraph(size_t num_nodes, size_t num_edges,
   options.num_nodes = num_nodes;
   auto result = std::move(builder).Build(options);
   return result.ok() ? std::move(result).value() : Hypergraph();
+}
+
+/// One step of a randomized dynamic-graph schedule.
+struct DynamicOp {
+  enum class Kind {
+    kAdd,     ///< ingest `nodes` as a new hyperedge
+    kRemove,  ///< remove the `remove_index`-th oldest currently-live edge
+    kQuery,   ///< consumer-defined read (e.g. an extra oracle check)
+  };
+  Kind kind = Kind::kAdd;
+  std::vector<NodeId> nodes;  ///< kAdd only
+  /// kRemove only: index into the consumer's list of live edges in
+  /// insertion order (always < the live count at this step). Indexing
+  /// by position instead of edge id keeps the schedule valid for any
+  /// engine's id assignment.
+  size_t remove_index = 0;
+};
+
+/// Seeded add/remove/query interleaving for fuzzing dynamic counting
+/// engines. Adds draw Zipf-skewed edge sizes in [1, max_edge_size] with
+/// ~1 in 4 adds repeating an earlier edge verbatim (duplicates must
+/// reach the delta passes); removes pick a uniformly random live edge
+/// and fire with probability `remove_ratio` (when anything is live);
+/// queries fire with `query_ratio`. The schedule is a pure function of
+/// the arguments — to reproduce a failure, rerun with the seed from the
+/// failing test's message.
+inline std::vector<DynamicOp> RandomDynamicSchedule(
+    size_t num_ops, size_t num_nodes, size_t max_edge_size,
+    double remove_ratio, double query_ratio, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DynamicOp> ops;
+  ops.reserve(num_ops);
+  std::vector<std::vector<NodeId>> added;  // verbatim-duplicate pool
+  size_t live = 0;
+  for (size_t i = 0; i < num_ops; ++i) {
+    const double roll = rng.UniformDouble();
+    DynamicOp op;
+    if (roll < remove_ratio && live > 0) {
+      op.kind = DynamicOp::Kind::kRemove;
+      op.remove_index = static_cast<size_t>(rng.UniformInt(live));
+      --live;
+    } else if (roll >= remove_ratio && roll < remove_ratio + query_ratio) {
+      // A remove rolled with nothing live degrades to an add (below),
+      // never to a query, so query density stays query_ratio exactly.
+      op.kind = DynamicOp::Kind::kQuery;
+    } else {
+      op.kind = DynamicOp::Kind::kAdd;
+      if (!added.empty() && rng.UniformInt(4) == 0) {
+        op.nodes = added[rng.UniformInt(added.size())];
+      } else {
+        const size_t size = std::min<uint64_t>(
+            rng.Zipf(max_edge_size, 1.2) + 1, num_nodes);
+        const auto ids = rng.SampleDistinct(num_nodes, size);
+        op.nodes.assign(ids.begin(), ids.end());
+      }
+      added.push_back(op.nodes);
+      ++live;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
 }
 
 }  // namespace mochy::testing

@@ -168,6 +168,22 @@ def main() -> int:
                   f"arrivals/s ({stream['mean_arrival_us']:.1f}us/arrival), "
                   f"per-arrival speedup vs recount "
                   f"{stream['per_arrival_speedup_vs_recount']:.0f}x")
+            if stream.get("removals"):
+                print(f"{graph['name']}: decremental "
+                      f"{stream['removals_per_s']:.0f} removals/s "
+                      f"({stream['mean_removal_us']:.1f}us/removal, drained "
+                      f"{stream['removals']} edges back to zero counts)")
+        windowed = graph.get("windowed")
+        if windowed:
+            print(f"{graph['name']}: sliding replay "
+                  f"{windowed['windows_per_s']:.0f} windows/s over "
+                  f"{windowed['windows']} windows, "
+                  f"{windowed['evictions']} evictions")
+        ingest = graph.get("ingest")
+        if ingest:
+            print(f"{graph['name']}: sharded ingest "
+                  f"{ingest['edges_per_s']:.0f} edges/s with "
+                  f"{ingest['producers']} concurrent producers")
         memory = graph.get("memory")
         if memory:
             mib = 1024 * 1024
