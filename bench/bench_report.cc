@@ -12,8 +12,11 @@
 //
 //   bench_report --out BENCH_pr3.json --scale 1.0 --threads 1 --repeat 3
 //   bench_report --smoke --out BENCH_smoke.json
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "gen/generators.h"
@@ -34,6 +38,7 @@
 #include "motif/mochy_e.h"
 #include "motif/reference.h"
 #include "motif/streaming.h"
+#include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 
@@ -130,6 +135,21 @@ struct GraphReport {
   double serve_hit_rate = 0.0;  // result-cache hit rate over the workload
   double serve_p50_us = 0.0;    // per-query latency percentiles
   double serve_p99_us = 0.0;
+  // Fault-resilience scenario: the same query mix over a real unix
+  // socket, once clean and once under a seeded 1% fault schedule on
+  // every frame-I/O point, with the client retrying transient failures.
+  // Every response (clean or faulty) is verified bit-identical to the
+  // direct kernel runs; the delta between the rows is the price of
+  // riding out the faults (reconnects + backoff).
+  uint64_t faults_queries = 0;
+  double faults_clean_wall_s = 0.0;
+  double faults_clean_qps = 0.0;
+  double faults_clean_p99_us = 0.0;
+  double faults_wall_s = 0.0;
+  double faults_qps = 0.0;
+  double faults_p99_us = 0.0;
+  uint64_t faults_fired = 0;      // injected faults during the faulty phase
+  uint64_t faults_dropped = 0;    // connections the server cut because of them
 };
 
 /// Minimum wall time of `fn` over `repeat` runs; the first run's result is
@@ -575,6 +595,130 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
     serve_row.samples_per_s = report.serve_queries_per_s;
     report.kernels.push_back(serve_row);
   }
+
+  // Fault-resilience scenario: the mixed workload again, but over a real
+  // unix socket (frames, deadlines, reconnects — the transport the
+  // in-process scenario skips), measured clean and then under a seeded
+  // 1% fault schedule on every frame-I/O point. The retrying client must
+  // land a bit-identical answer either way; the faulty row prices what
+  // the retries cost.
+  {
+    ServeOptions serve_options;
+    serve_options.socket_path =
+        "/tmp/mochy_bench_serve_" + std::to_string(::getpid()) + ".sock";
+    MotifServer server(serve_options);
+    if (Status s = server.LoadGraph(name, graph); !s.ok()) {
+      std::fprintf(stderr, "FATAL: %s: serve/faults load failed: %s\n",
+                   name.c_str(), s.ToString().c_str());
+      std::exit(1);
+    }
+    std::thread serving([&server] { (void)server.Serve(); });
+    const std::string threads = std::to_string(config.threads);
+    const std::vector<std::pair<std::string, const MotifCounts*>> queries = {
+        {"count " + name + " algorithm=exact threads=" + threads,
+         &exact_stamped},
+        {"count " + name + " algorithm=edge-sample samples=" +
+             std::to_string(a.num_samples) + " seed=1 threads=" + threads,
+         &a_stamped},
+        {"count " + name + " algorithm=link-sample samples=" +
+             std::to_string(aplus.num_samples) + " seed=1 threads=" + threads,
+         &aplus_stamped},
+    };
+    ClientOptions client_options;
+    client_options.backoff.max_attempts = 12;
+    client_options.backoff.initial_delay_ms = 1.0;
+    client_options.backoff.max_delay_ms = 20.0;
+    MotifClient client(serve_options.socket_path, 0, client_options);
+    for (int attempt = 0; attempt < 250 && !client.Connect().ok(); ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    constexpr int kFaultRounds = 6;
+    auto run_phase = [&](const char* phase, double* wall_out,
+                         double* p99_out) {
+      std::vector<double> latencies;
+      latencies.reserve(queries.size() * kFaultRounds);
+      Timer phase_timer;
+      for (int round = 0; round < kFaultRounds; ++round) {
+        for (const auto& [request, expected] : queries) {
+          Timer query_timer;
+          auto response = client.RequestWithRetry(request);
+          latencies.push_back(query_timer.Seconds());
+          if (!response.ok() || response.value().rfind("ok ", 0) != 0) {
+            std::fprintf(stderr, "FATAL: %s: serve/faults %s query failed: %s\n",
+                         name.c_str(), phase,
+                         response.ok() ? response.value().c_str()
+                                       : response.status().ToString().c_str());
+            std::exit(1);
+          }
+          MotifCounts served;
+          bool decoded = false;
+          for (const std::string_view line : SplitLines(response.value())) {
+            if (line.rfind("counts ", 0) == 0) {
+              auto counts = DecodeCounts(line.substr(7));
+              if (counts.ok()) {
+                served = counts.value();
+                decoded = true;
+              }
+            }
+          }
+          if (!decoded || !BitIdentical(served, *expected)) {
+            std::fprintf(stderr, "FATAL: %s: serve/faults %s response diverges "
+                                 "from the direct kernel run\n",
+                         name.c_str(), phase);
+            std::exit(1);
+          }
+        }
+      }
+      *wall_out = phase_timer.Seconds();
+      std::sort(latencies.begin(), latencies.end());
+      *p99_out = latencies[std::min(latencies.size() - 1,
+                                    latencies.size() * 99 / 100)] * 1e6;
+      return latencies.size();
+    };
+
+    // Warm the server's result cache first so both phases price the
+    // transport + retries, not a one-time cold kernel run.
+    for (const auto& [request, expected] : queries) {
+      (void)expected;
+      (void)client.RequestWithRetry(request);
+    }
+
+    report.faults_queries =
+        run_phase("clean", &report.faults_clean_wall_s,
+                  &report.faults_clean_p99_us);
+    report.faults_clean_qps =
+        report.faults_clean_wall_s > 0.0
+            ? static_cast<double>(report.faults_queries) /
+                  report.faults_clean_wall_s
+            : 0.0;
+
+    FaultPlan plan;
+    plan.seed = 1234;
+    plan.rate = 0.01;  // 1% of frame reads/writes fail with EIO
+    FaultInjector::Global().Arm(plan);
+    run_phase("faulty", &report.faults_wall_s, &report.faults_p99_us);
+    FaultInjector::Global().Disarm();
+    report.faults_qps =
+        report.faults_wall_s > 0.0
+            ? static_cast<double>(report.faults_queries) /
+                  report.faults_wall_s
+            : 0.0;
+    report.faults_fired = FaultInjector::Global().total_fired();
+    report.faults_dropped = server.stats().dropped_connections;
+
+    client.Close();
+    server.RequestStop();
+    serving.join();
+
+    KernelRow faults_row;
+    faults_row.kernel = "serve/faults";
+    faults_row.threads = config.threads;
+    faults_row.samples = report.faults_queries;
+    faults_row.wall_s = report.faults_wall_s;
+    faults_row.samples_per_s = report.faults_qps;
+    report.kernels.push_back(faults_row);
+  }
   return report;
 }
 
@@ -666,6 +810,20 @@ void WriteJson(const Config& config, const std::vector<GraphReport>& graphs) {
                  report.serve_wall_s, report.serve_queries_per_s,
                  report.serve_hit_rate, report.serve_p50_us,
                  report.serve_p99_us);
+    std::fprintf(out,
+                 "      \"serving_faults\": {\"queries\": %llu, "
+                 "\"fault_rate\": 0.01, "
+                 "\"clean_wall_s\": %.6f, \"clean_qps\": %.1f, "
+                 "\"clean_p99_us\": %.1f, "
+                 "\"faulty_wall_s\": %.6f, \"faulty_qps\": %.1f, "
+                 "\"faulty_p99_us\": %.1f, "
+                 "\"faults_fired\": %llu, \"connections_dropped\": %llu},\n",
+                 static_cast<unsigned long long>(report.faults_queries),
+                 report.faults_clean_wall_s, report.faults_clean_qps,
+                 report.faults_clean_p99_us, report.faults_wall_s,
+                 report.faults_qps, report.faults_p99_us,
+                 static_cast<unsigned long long>(report.faults_fired),
+                 static_cast<unsigned long long>(report.faults_dropped));
     std::fprintf(out, "      \"kernels\": [\n");
     for (size_t k = 0; k < report.kernels.size(); ++k) {
       const KernelRow& row = report.kernels[k];
@@ -766,7 +924,9 @@ int Main(int argc, char** argv) {
                 "sliding %.0f windows/s (%llu evictions) | "
                 "ingest x%llu %.0f edges/s | "
                 "lazy a+ peak %.2f/%.2fMB, hit %.0f%%, wall %.2fx | "
-                "serve %.0f q/s, hit %.0f%%, p99 %.0fus\n",
+                "serve %.0f q/s, hit %.0f%%, p99 %.0fus | "
+                "faults(1%%) %.0f->%.0f q/s, p99 %.0f->%.0fus, "
+                "%llu fired\n",
                 report.name.c_str(), report.edges,
                 static_cast<unsigned long long>(report.wedges),
                 report.exact_speedup, report.stream_arrivals_per_s,
@@ -781,7 +941,10 @@ int Main(int argc, char** argv) {
                 report.mem_lazy_hit_rate * 100.0,
                 report.mem_lazy_wall_ratio,
                 report.serve_queries_per_s, report.serve_hit_rate * 100.0,
-                report.serve_p99_us);
+                report.serve_p99_us, report.faults_clean_qps,
+                report.faults_qps, report.faults_clean_p99_us,
+                report.faults_p99_us,
+                static_cast<unsigned long long>(report.faults_fired));
   }
   std::printf("wrote %s\n", config.out.c_str());
   return 0;

@@ -37,7 +37,7 @@
 //                                                 write a synthetic dataset
 //   mochy_cli stream  <trace> [--window W | --window sliding:W]
 //                             [--mode cumulative|tumbling|sliding]
-//                             [--horizon H] [--threads N]
+//                             [--horizon H] [--threads N] [--wal PATH]
 //                                                 replay a temporal trace
 //                                                 (lines: "time v1 v2 ...")
 //                                                 through the incremental
@@ -46,12 +46,22 @@
 //                                                 the final exact counts.
 //                                                 sliding evicts arrivals
 //                                                 older than H (default W)
-//                                                 via the decremental pass
+//                                                 via the decremental pass.
+//                                                 --wal (cumulative only)
+//                                                 makes the stream crash-safe:
+//                                                 arrivals are logged and
+//                                                 fsync'd before applying, a
+//                                                 restart recovers the durable
+//                                                 prefix bit-identically and
+//                                                 resumes the trace from there
+//                                                 (motif/streaming_wal.h;
+//                                                 docs/OPERATIONS.md)
 //   mochy_cli gen-trace <file> [--years N] [--scale X] [--seed S]
 //                                                 write a temporal
 //                                                 co-authorship trace
 //   mochy_cli serve   [--socket PATH | --port N] [--cache-budget BYTES[K|M|G]]
-//                     [--load NAME=FILE ...]
+//                     [--load NAME=FILE ...] [--max-connections N]
+//                     [--io-timeout MS]
 //                                                 run the resident MotifServer
 //                                                 (src/serve/): loaded graphs
 //                                                 stay in memory, queries are
@@ -60,8 +70,12 @@
 //                                                 blocks until a shutdown
 //                                                 query arrives
 //   mochy_cli query <action> [args] --socket PATH | --port N
+//                   [--connect-timeout MS] [--io-timeout MS] [--retries N]
 //                                                 one query against a running
-//                                                 server; actions:
+//                                                 server (N > 1 retries
+//                                                 transient failures with
+//                                                 jittered exponential
+//                                                 backoff); actions:
 //                                                   count <name> [count flags]
 //                                                   profile <name> [profile
 //                                                                   flags]
@@ -97,6 +111,7 @@
 #include "motif/engine.h"
 #include "motif/enumerate.h"
 #include "motif/streaming.h"
+#include "motif/streaming_wal.h"
 #include "profile/significance.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -124,11 +139,16 @@ struct Flags {
   uint64_t horizon = 0;  // 0: window width (see ReplayOptions::horizon)
   WindowMode mode = WindowMode::kCumulative;
   size_t years = 33;
+  std::string wal;  // stream: WAL path; empty = in-memory only
   // serve/query
   std::string socket;                // unix-domain socket path
   int port = 0;                      // loopback TCP port (when no socket)
   uint64_t cache_budget = 64ull << 20;
   std::vector<std::pair<std::string, std::string>> loads;  // name -> file
+  int io_timeout_ms = 10'000;        // per-frame deadline (0 = none)
+  int connect_timeout_ms = 5'000;    // query: dial deadline (0 = none)
+  size_t max_connections = 256;      // serve: overload cap (0 = uncapped)
+  int retries = 1;                   // query: attempts for transient failures
 };
 
 /// Prints "<flag>: <error>" and returns false (ParseFlags's failure path).
@@ -240,6 +260,26 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       auto parsed = ParseUint64InRange(value, 1, 1000, "--years");
       if (!parsed.ok()) return BadFlag(key, parsed.status());
       flags->years = static_cast<size_t>(parsed.value());
+    } else if (key == "--wal") {
+      flags->wal = value;
+    } else if (key == "--io-timeout") {
+      auto parsed = ParseUint64InRange(value, 0, 86'400'000, "--io-timeout");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->io_timeout_ms = static_cast<int>(parsed.value());
+    } else if (key == "--connect-timeout") {
+      auto parsed =
+          ParseUint64InRange(value, 0, 86'400'000, "--connect-timeout");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->connect_timeout_ms = static_cast<int>(parsed.value());
+    } else if (key == "--max-connections") {
+      auto parsed =
+          ParseUint64InRange(value, 0, 1'000'000, "--max-connections");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->max_connections = static_cast<size_t>(parsed.value());
+    } else if (key == "--retries") {
+      auto parsed = ParseUint64InRange(value, 1, 1000, "--retries");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      flags->retries = static_cast<int>(parsed.value());
     } else if (key == "--socket") {
       flags->socket = value;
     } else if (key == "--port") {
@@ -275,10 +315,12 @@ int Usage() {
                "       mochy_cli stream <trace-file> [flags]\n"
                "       mochy_cli gen-trace <file> [flags]\n"
                "       mochy_cli serve [--socket PATH | --port N] "
-               "[--cache-budget B] [--load NAME=FILE ...]\n"
+               "[--cache-budget B] [--load NAME=FILE ...] "
+               "[--max-connections N] [--io-timeout MS]\n"
                "       mochy_cli query "
                "<count|profile|similarity|load|stats|shutdown> [args] "
-               "--socket PATH | --port N\n"
+               "--socket PATH | --port N "
+               "[--connect-timeout MS] [--io-timeout MS] [--retries N]\n"
                "flags: --algorithm exact|edge-sample|link-sample|auto "
                "--ratio R --samples N --seed S --threads N (0 = all cores)\n"
                "       count/sample: --projection materialized|lazy|auto "
@@ -286,7 +328,8 @@ int Usage() {
                "       profile: --random K --sample-ratio R --epsilon E "
                "--null chung-lu|perturb\n"
                "       stream: --window W|sliding:W "
-               "--mode cumulative|tumbling|sliding --horizon H; "
+               "--mode cumulative|tumbling|sliding --horizon H "
+               "--wal PATH (crash-safe, cumulative only); "
                "gen-trace: --years N --scale X\n");
   return 1;
 }
@@ -419,6 +462,58 @@ int RunGenerate(const char* domain_name, const char* path,
   return 0;
 }
 
+/// `stream --wal`: the crash-safe cumulative path. Arrivals go through
+/// a PersistentStreamingEngine, so each is WAL-logged and fsync'd
+/// before it is counted; a restart recovers the durable prefix
+/// bit-identically and resumes the trace after it (the WAL's record
+/// count says how many arrivals are already in). A final checkpoint
+/// makes the next startup replay-free.
+int RunStreamWithWal(const TemporalTrace& trace, const Flags& flags) {
+  WalOptions options;
+  options.path = flags.wal;
+  options.streaming.num_threads = flags.threads;
+  auto engine = PersistentStreamingEngine::Open(options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 2;
+  }
+  const WalRecoveryInfo& recovery = engine.value()->recovery();
+  std::printf("wal: recovered %llu records "
+              "(%llu checkpointed, %llu replayed, %llu torn bytes dropped)\n",
+              static_cast<unsigned long long>(engine.value()->records()),
+              static_cast<unsigned long long>(recovery.checkpoint_records),
+              static_cast<unsigned long long>(recovery.replayed_records),
+              static_cast<unsigned long long>(recovery.truncated_bytes));
+  const uint64_t already_durable = engine.value()->records();
+  if (already_durable > trace.size()) {
+    std::fprintf(stderr,
+                 "wal: log has %llu records but the trace only %zu arrivals; "
+                 "is this the right trace for %s?\n",
+                 static_cast<unsigned long long>(already_durable),
+                 trace.size(), flags.wal.c_str());
+    return 2;
+  }
+  uint64_t index = 0;
+  for (const TimedEdge& arrival : trace.arrivals) {
+    if (index++ < already_durable) continue;  // durable from a prior run
+    auto added = engine.value()->AddEdge(
+        std::span<const NodeId>(arrival.nodes.data(), arrival.nodes.size()));
+    if (!added.ok()) {
+      std::fprintf(stderr, "arrival %llu: %s\n",
+                   static_cast<unsigned long long>(index - 1),
+                   added.status().ToString().c_str());
+      return 2;
+    }
+  }
+  if (Status s = engine.value()->Checkpoint(); !s.ok()) {
+    std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                 s.ToString().c_str());  // the WAL still has every record
+  }
+  std::printf("%s\n", engine.value()->engine().stats().ToString().c_str());
+  std::printf("%s", engine.value()->counts().ToString().c_str());
+  return 0;
+}
+
 int RunStream(const char* path, const Flags& flags) {
   if (flags.window == 0) {
     std::fprintf(stderr, "--window must be positive\n");
@@ -428,6 +523,16 @@ int RunStream(const char* path, const Flags& flags) {
   if (!trace.ok()) {
     std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
     return 2;
+  }
+  if (!flags.wal.empty()) {
+    // Durability is defined for the cumulative stream (the WAL's record
+    // order IS the arrival order); windowed modes recompute per window
+    // and stay in-memory.
+    if (flags.mode != WindowMode::kCumulative) {
+      std::fprintf(stderr, "--wal supports --mode cumulative only\n");
+      return 2;
+    }
+    return RunStreamWithWal(trace.value(), flags);
   }
   ReplayOptions options;
   options.streaming.num_threads = flags.threads;
@@ -505,6 +610,8 @@ int RunServe(const Flags& flags) {
   options.socket_path = flags.socket;
   options.port = flags.port;
   options.cache_budget = flags.cache_budget;
+  options.io_timeout_ms = flags.io_timeout_ms;
+  options.max_connections = flags.max_connections;
   MotifServer server(options);
   for (const auto& [name, path] : flags.loads) {
     if (Status s = server.LoadGraphFile(name, path); !s.ok()) {
@@ -664,12 +771,21 @@ int RunQuery(int argc, char** argv) {
     std::fprintf(stderr, "query: need --socket PATH or --port N\n");
     return 1;
   }
-  MotifClient client(flags.socket, flags.port);
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = flags.connect_timeout_ms;
+  client_options.io_timeout_ms = flags.io_timeout_ms;
+  client_options.backoff.max_attempts = flags.retries;
+  MotifClient client(flags.socket, flags.port, client_options);
   if (Status s = client.Connect(); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
   }
-  auto response = client.Request(BuildQueryRequest(action, argv, flags));
+  // --retries > 1 rides out transient failures (timeouts, overload
+  // shedding, dropped connections) with jittered exponential backoff;
+  // queries are idempotent, so redialing and resending is safe.
+  const std::string request = BuildQueryRequest(action, argv, flags);
+  auto response = flags.retries > 1 ? client.RequestWithRetry(request)
+                                    : client.Request(request);
   if (!response.ok()) {
     std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
     return 2;

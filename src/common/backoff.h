@@ -1,0 +1,141 @@
+/// \file
+/// Exponential backoff with deterministic jitter for transient failures.
+///
+/// Retrying a dial or a frame exchange is correct only for failures the
+/// peer may recover from — a refused connect, an overloaded server, a
+/// timed-out frame — and only with spacing that does not synchronize
+/// retries across clients. `Backoff` produces the classic exponentially
+/// growing, jittered delay sequence, but the jitter is drawn from the
+/// library's seeded `Rng`, so a retry schedule is reproducible from its
+/// seed like every other randomized component here (common/rng.h).
+///
+/// `RetryWithBackoff` wraps a callable returning `Status` or `Result<T>`
+/// and retries while `IsRetriableStatus` holds, sleeping between
+/// attempts. Queries in this system are idempotent (counting is pure and
+/// the server's cache makes repeats cheap), so retrying a request whose
+/// fate is unknown is always safe. See docs/OPERATIONS.md for the
+/// end-to-end retry semantics.
+#ifndef MOCHY_COMMON_BACKOFF_H_
+#define MOCHY_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mochy {
+
+/// Shape of a retry schedule; the CLI retry flags map onto this.
+struct BackoffOptions {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Base delay before the first retry, in milliseconds.
+  double initial_delay_ms = 10.0;
+  /// Growth factor per retry (attempt k waits initial * multiplier^k).
+  double multiplier = 2.0;
+  /// Hard cap applied before jitter.
+  double max_delay_ms = 2000.0;
+  /// Jitter fraction in [0, 1]: the delay is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1], de-synchronizing retry storms while
+  /// never exceeding the capped delay.
+  double jitter = 0.5;
+  /// Seed of the jitter stream (deterministic per Backoff instance).
+  uint64_t seed = 1;
+};
+
+/// True for failures a retry can plausibly fix: transport errors
+/// (kIOError), per-frame timeouts (kDeadlineExceeded), and overload
+/// shedding (kUnavailable). Argument, grammar, and not-found errors are
+/// deterministic — retrying them only repeats the mistake.
+inline bool IsRetriableStatus(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+/// The delay sequence of one retry loop. Pure: NextDelayMs() never
+/// sleeps, so tests can assert the schedule exactly.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Attempts consumed so far (incremented by NextDelayMs).
+  int attempt() const { return attempt_; }
+
+  /// Whether another attempt is allowed by max_attempts.
+  bool Exhausted() const { return attempt_ >= options_.max_attempts - 1; }
+
+  /// The jittered delay to wait before the next retry, advancing the
+  /// schedule. Deterministic in (options.seed, call index).
+  double NextDelayMs() {
+    const double base =
+        options_.initial_delay_ms *
+        PowMultiplier(attempt_);
+    const double capped = std::min(base, options_.max_delay_ms);
+    ++attempt_;
+    const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+    const double scale = 1.0 - jitter * rng_.UniformDouble();
+    return capped * scale;
+  }
+
+ private:
+  double PowMultiplier(int k) const {
+    double factor = 1.0;
+    for (int i = 0; i < k; ++i) factor *= options_.multiplier;
+    return factor;
+  }
+
+  BackoffOptions options_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+namespace internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  static const Status ok = Status::OK();
+  return r.ok() ? ok : r.status();
+}
+inline bool IsOk(const Status& s) { return s.ok(); }
+template <typename T>
+bool IsOk(const Result<T>& r) {
+  return r.ok();
+}
+}  // namespace internal
+
+/// Runs `fn` (returning Status or Result<T>) up to max_attempts times,
+/// sleeping the jittered backoff delay between attempts, and returns the
+/// first success or the last failure. Non-retriable failures return
+/// immediately. `sleep_ms` exists so tests can observe the schedule
+/// instead of actually sleeping; the default really sleeps.
+template <typename Fn, typename SleepFn>
+auto RetryWithBackoff(const BackoffOptions& options, Fn&& fn,
+                      SleepFn&& sleep_ms) -> decltype(fn()) {
+  Backoff backoff(options);
+  while (true) {
+    auto outcome = fn();
+    if (internal::IsOk(outcome)) return outcome;
+    if (!IsRetriableStatus(internal::StatusOf(outcome))) return outcome;
+    if (backoff.Exhausted()) return outcome;
+    sleep_ms(backoff.NextDelayMs());
+  }
+}
+
+template <typename Fn>
+auto RetryWithBackoff(const BackoffOptions& options, Fn&& fn)
+    -> decltype(fn()) {
+  return RetryWithBackoff(options, std::forward<Fn>(fn), [](double ms) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  });
+}
+
+}  // namespace mochy
+
+#endif  // MOCHY_COMMON_BACKOFF_H_

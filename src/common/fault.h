@@ -1,0 +1,138 @@
+/// \file
+/// Deterministic fault injection for the serving and persistence layers.
+///
+/// Robustness claims are only as good as the faults they were tested
+/// against, so the I/O paths that must survive failure — the frame
+/// protocol (serve/protocol.cc), the server's accept loop, and the
+/// streaming WAL — are instrumented with **named injection points**:
+/// each syscall site asks `MOCHY_FAULT_POINT("protocol.write")` what to
+/// do before touching the kernel. Disarmed (the default, and the only
+/// state production code ever sees) the query is one relaxed load of a
+/// cold atomic and a predictable branch — no locks, no allocation, no
+/// measurable cost (guarded by the perf-smoke gate). Armed, decisions
+/// come from a `FaultPlan`:
+///
+///  - explicit rules — "fail the 3rd hit of wal.fsync with EIO",
+///    "short-read every 2nd hit of protocol.read" — matched first;
+///  - a background Bernoulli rate, derived deterministically from
+///    (plan seed, point name, per-point hit ordinal) exactly like
+///    `RandomDynamicSchedule` derives its schedule from a seed, so a
+///    chaos run replays bit-identically given the same hit sequence.
+///
+/// The injector is a process-wide singleton (faults are a property of
+/// the process under test, not of one component); tests arm it, run,
+/// assert on the per-point hit/fired counters, and disarm. See
+/// docs/OPERATIONS.md for how the chaos tests use it.
+#ifndef MOCHY_COMMON_FAULT_H_
+#define MOCHY_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mochy {
+
+/// What an armed injection point tells its call site to do.
+struct FaultAction {
+  enum class Kind {
+    kNone,     ///< proceed normally
+    kError,    ///< fail the operation as if the syscall set `fault_errno`
+    kShortIo,  ///< cap this read/write at `max_bytes` bytes (>= 1)
+  };
+  Kind kind = Kind::kNone;
+  int fault_errno = 0;
+  size_t max_bytes = 0;
+
+  bool none() const { return kind == Kind::kNone; }
+};
+
+/// Returns a FaultAction that fails with `err` (defaults to EIO-style 5).
+FaultAction FaultError(int err = 5);
+/// Returns a FaultAction that truncates the I/O to `max_bytes`.
+FaultAction FaultShortIo(size_t max_bytes);
+
+/// One explicit trigger for a named point. `nth` fires exactly once, on
+/// the nth hit of the point (1-based); `every` fires on every multiple
+/// (every=3 -> hits 3, 6, 9, ...). Set exactly one of them non-zero.
+struct FaultRule {
+  std::string point;
+  uint64_t nth = 0;
+  uint64_t every = 0;
+  FaultAction action;
+};
+
+/// A complete, seed-reproducible fault schedule.
+struct FaultPlan {
+  /// Seed of the background-rate stream; same role as a
+  /// RandomDynamicSchedule seed — one number reproduces the whole run.
+  uint64_t seed = 1;
+  /// Background probability that any hit fires `rate_action`, decided
+  /// deterministically per (seed, point, hit ordinal). 0 disables the
+  /// background stream (rules still apply).
+  double rate = 0.0;
+  FaultAction rate_action = FaultError();
+  /// Explicit rules, matched before the background rate.
+  std::vector<FaultRule> rules;
+};
+
+/// Process-wide fault injector. All methods are thread-safe; the armed
+/// check is lock-free (one relaxed atomic load).
+class FaultInjector {
+ public:
+  /// The process singleton; never destroyed (tests arm and disarm it).
+  static FaultInjector& Global();
+
+  /// True when a plan is armed. Inline and relaxed: this is the only
+  /// cost a disarmed process pays at an injection point.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Installs `plan` and resets all counters. Arming while another
+  /// thread is mid-hit is safe (the hit uses whichever plan it observes).
+  void Arm(FaultPlan plan);
+
+  /// Removes the plan; every subsequent hit is kNone at atomic-load cost.
+  /// Counters are retained until the next Arm() for post-run assertions.
+  void Disarm();
+
+  /// Records one hit of `point` and returns the action to take. Called
+  /// by MOCHY_FAULT_POINT only when Armed().
+  FaultAction OnPoint(std::string_view point);
+
+  /// Total hits of `point` since the last Arm().
+  uint64_t hits(std::string_view point) const;
+  /// Hits of `point` that returned a non-kNone action since last Arm().
+  uint64_t fired(std::string_view point) const;
+  /// Sum of fired() over all points.
+  uint64_t total_fired() const;
+
+ private:
+  FaultInjector() = default;
+
+  static std::atomic<bool> armed_;
+
+  struct PointState {
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::unordered_map<std::string, PointState> points_;
+};
+
+}  // namespace mochy
+
+/// The per-site hook: evaluates to the FaultAction for this hit, or a
+/// default-constructed (kNone) action at one-atomic-load cost when
+/// nothing is armed. `point` is a string literal naming the site.
+#define MOCHY_FAULT_POINT(point)                          \
+  (::mochy::FaultInjector::Armed()                        \
+       ? ::mochy::FaultInjector::Global().OnPoint(point)  \
+       : ::mochy::FaultAction{})
+
+#endif  // MOCHY_COMMON_FAULT_H_

@@ -23,6 +23,8 @@ enum class StatusCode {
   kAlreadyExists,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -56,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -91,6 +91,41 @@ void StreamingEngine::Reset() {
   stats_.num_wedges = 0;
 }
 
+Status StreamingEngine::Restore(const std::vector<std::vector<NodeId>>& edges,
+                                const std::vector<uint8_t>& live,
+                                const MotifCounts& counts, uint64_t arrivals,
+                                uint64_t removals) {
+  if (live.size() != edges.size()) {
+    return Status::InvalidArgument(
+        "restore: live flags (" + std::to_string(live.size()) +
+        ") and edge log (" + std::to_string(edges.size()) + ") disagree");
+  }
+  Reset();
+  // Rebuild the structural state only: add every logged edge in id
+  // order (reproducing the original id assignment), then tombstone the
+  // dead ones. DynamicHypergraph updates are O(Δ) each, so this is
+  // O(graph), while re-deriving the counts would be O(full recount).
+  for (size_t e = 0; e < edges.size(); ++e) {
+    auto added = graph_.AddEdge(edges[e]);
+    if (!added.ok()) {
+      return Status::Internal("restore: edge " + std::to_string(e) +
+                              " rejected: " + added.status().message());
+    }
+    if (added.value() != static_cast<EdgeId>(e)) {
+      return Status::Internal("restore: edge id mismatch");
+    }
+  }
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (live[e] != 0) continue;
+    MOCHY_RETURN_IF_ERROR(graph_.RemoveEdge(static_cast<EdgeId>(e)));
+  }
+  counts_ = counts;
+  stats_.arrivals = arrivals;
+  stats_.removals = removals;
+  stats_.num_wedges = graph_.num_wedges();
+  return Status::OK();
+}
+
 // Sizes `arena` for the current graph and scatters the arrival's
 // neighborhood (N(e) membership + w(e, ·)) and node set. Done once per
 // executing thread and arrival: the delta loops below only bump the

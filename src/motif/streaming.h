@@ -115,6 +115,21 @@ class StreamingEngine {
   /// tumbling-window boundaries (and reclaims tombstoned id space).
   void Reset();
 
+  /// Adopts a previously captured state (motif/streaming_wal.h): the
+  /// edge log — every id ever assigned, including tombstoned ones, in
+  /// id order — is replayed through the graph's structural updates only
+  /// (no motif delta enumeration; O(graph) instead of O(recount)), and
+  /// the count vector is installed verbatim. Afterwards AddEdge /
+  /// RemoveEdge continue bit-identically to the engine the state was
+  /// captured from: ids resume at the same point, and the restored
+  /// graph + counts are exactly what the delta contract needs. The
+  /// caller vouches that `counts` are the exact counts of the live
+  /// subset of `edges` (the WAL recovery path verifies this via
+  /// checksums; tests verify it against reference::CountMotifsExact).
+  Status Restore(const std::vector<std::vector<NodeId>>& edges,
+                 const std::vector<uint8_t>& live, const MotifCounts& counts,
+                 uint64_t arrivals, uint64_t removals);
+
  private:
   struct DeltaCounters;
   DeltaCounters EnumerateDelta(EdgeId e);

@@ -8,14 +8,17 @@
 
 namespace mochy {
 
-MotifClient::MotifClient(std::string socket_path, int port)
-    : socket_path_(std::move(socket_path)), port_(port) {}
+MotifClient::MotifClient(std::string socket_path, int port,
+                         ClientOptions options)
+    : socket_path_(std::move(socket_path)),
+      port_(port),
+      options_(options) {}
 
 MotifClient::~MotifClient() { Close(); }
 
 Status MotifClient::Connect() {
   if (fd_ >= 0) return Status::FailedPrecondition("already connected");
-  auto fd = ConnectTo(socket_path_, port_);
+  auto fd = ConnectTo(socket_path_, port_, options_.connect_timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = fd.value();
   return Status::OK();
@@ -23,13 +26,37 @@ Status MotifClient::Connect() {
 
 Result<std::string> MotifClient::Request(const std::string& request) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
-  MOCHY_RETURN_IF_ERROR(WriteFrame(fd_, request));
-  auto frame = ReadFrame(fd_);
+  MOCHY_RETURN_IF_ERROR(WriteFrame(fd_, request, options_.io_timeout_ms));
+  auto frame = ReadFrame(fd_, options_.io_timeout_ms);
   if (!frame.ok()) return frame.status();
   if (frame.value().eof) {
     return Status::IOError("server closed the connection before replying");
   }
   return std::move(frame.value().payload);
+}
+
+Result<std::string> MotifClient::RequestWithRetry(const std::string& request) {
+  auto attempt = [&]() -> Result<std::string> {
+    if (fd_ < 0) {
+      if (Status dial = Connect(); !dial.ok()) return dial;
+    }
+    auto response = Request(request);
+    if (!response.ok()) {
+      // The connection's framing state is unknown after a transport
+      // failure; retries must start from a fresh dial.
+      Close();
+      return response;
+    }
+    // An overload response is the server asking for exactly this retry
+    // loop; surface it as kUnavailable so the backoff policy applies.
+    // (The server closed its side after writing it, so reconnect.)
+    if (response.value().rfind("error code=Unavailable", 0) == 0) {
+      Close();
+      return Status::Unavailable(response.value());
+    }
+    return response;
+  };
+  return RetryWithBackoff(options_.backoff, attempt);
 }
 
 void MotifClient::Close() {

@@ -17,15 +17,29 @@
 
 #include <string>
 
+#include "common/backoff.h"
 #include "common/status.h"
 
 namespace mochy {
+
+/// Client-side fault-tolerance knobs; the CLI query flags map onto this.
+struct ClientOptions {
+  /// Dial deadline (protocol.h ConnectTo semantics); 0 blocks.
+  int connect_timeout_ms = 5'000;
+  /// Per-frame deadline on Request()'s write and read. The read clock
+  /// includes the server's compute time for the query, so 0 (no
+  /// deadline) is the safe default for expensive profile queries.
+  int io_timeout_ms = 0;
+  /// Retry schedule used by RequestWithRetry (max_attempts = 1 disables
+  /// retries).
+  BackoffOptions backoff;
+};
 
 /// One client connection to a MotifServer.
 class MotifClient {
  public:
   /// Does not connect; call Connect().
-  MotifClient(std::string socket_path, int port);
+  MotifClient(std::string socket_path, int port, ClientOptions options = {});
 
   /// Closes the connection if open.
   ~MotifClient();
@@ -41,12 +55,22 @@ class MotifClient {
   /// "error ..." payloads (still Result-ok here — the transport worked).
   Result<std::string> Request(const std::string& request);
 
+  /// Request() with fault tolerance: dials if not connected, and on a
+  /// transient failure — transport error, frame deadline, server
+  /// overload response — closes, waits the jittered backoff delay, and
+  /// retries with a fresh connection, up to backoff.max_attempts total
+  /// tries. Safe because every request in the server grammar is
+  /// idempotent. Non-retriable failures and "error ..." responses other
+  /// than Unavailable return immediately.
+  Result<std::string> RequestWithRetry(const std::string& request);
+
   /// Closes the connection (idempotent).
   void Close();
 
  private:
   std::string socket_path_;
   int port_ = 0;
+  ClientOptions options_;
   int fd_ = -1;
 };
 

@@ -1,14 +1,19 @@
 #include "serve/protocol.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/parse.h"
 
 namespace mochy {
@@ -19,13 +24,80 @@ Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
-Status WriteAll(int fd, const char* data, size_t size) {
+using SteadyClock = std::chrono::steady_clock;
+
+/// Per-frame deadline: fixed when the frame starts, shared by every
+/// syscall the frame makes. timeout_ms <= 0 means "no deadline".
+struct FrameDeadline {
+  explicit FrameDeadline(int timeout_ms)
+      : armed(timeout_ms > 0),
+        at(SteadyClock::now() + std::chrono::milliseconds(
+                                    timeout_ms > 0 ? timeout_ms : 0)),
+        budget_ms(timeout_ms) {}
+
+  /// Milliseconds left (>= 0), or -1 (poll's "infinite") when disarmed.
+  int RemainingMs() const {
+    if (!armed) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at - SteadyClock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+
+  bool armed;
+  SteadyClock::time_point at;
+  int budget_ms;
+};
+
+std::string ByteProgress(size_t done, size_t want) {
+  return std::to_string(done) + " of " + std::to_string(want) + " bytes";
+}
+
+/// Polls `fd` for `events` within the deadline. OK when ready; a
+/// kDeadlineExceeded describing `what`/progress when time runs out.
+Status AwaitReady(int fd, short events, const FrameDeadline& deadline,
+                  const char* what, size_t done, size_t want) {
+  while (true) {
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, deadline.RemainingMs());
+    if (ready > 0) return Status::OK();
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    return Status::DeadlineExceeded(
+        std::string(what) + " timed out after " +
+        std::to_string(deadline.budget_ms) + "ms mid-frame (" +
+        ByteProgress(done, want) + ")");
+  }
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const FrameDeadline& deadline) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    size_t chunk = size - written;
+    if (FaultInjector::Armed()) {
+      const FaultAction fault = MOCHY_FAULT_POINT("protocol.write");
+      if (fault.kind == FaultAction::Kind::kError) {
+        return Status::IOError("write: injected fault: " +
+                               std::string(std::strerror(fault.fault_errno)) +
+                               " (" + ByteProgress(written, size) + ")");
+      }
+      if (fault.kind == FaultAction::Kind::kShortIo) {
+        chunk = std::min(chunk, fault.max_bytes);
+      }
+    }
+    if (deadline.armed) {
+      MOCHY_RETURN_IF_ERROR(
+          AwaitReady(fd, POLLOUT, deadline, "write", written, size));
+    }
+    // MSG_NOSIGNAL: a peer gone mid-reply must surface as EPIPE, never
+    // as a process-terminating SIGPIPE (frames only travel on sockets).
+    const ssize_t n = ::send(fd, data + written, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Errno("write");
+      return Status::IOError("write: " + std::string(std::strerror(errno)) +
+                             " (" + ByteProgress(written, size) + ")");
     }
     written += static_cast<size_t>(n);
   }
@@ -34,21 +106,40 @@ Status WriteAll(int fd, const char* data, size_t size) {
 
 /// Reads exactly `size` bytes; eof=true only when the peer closed before
 /// the FIRST byte (a clean boundary for the caller to interpret).
-Status ReadAll(int fd, char* data, size_t size, bool* eof) {
+Status ReadAll(int fd, char* data, size_t size, bool* eof,
+               const FrameDeadline& deadline) {
   *eof = false;
   size_t read_bytes = 0;
   while (read_bytes < size) {
-    const ssize_t n = ::read(fd, data + read_bytes, size - read_bytes);
+    size_t chunk = size - read_bytes;
+    if (FaultInjector::Armed()) {
+      const FaultAction fault = MOCHY_FAULT_POINT("protocol.read");
+      if (fault.kind == FaultAction::Kind::kError) {
+        return Status::IOError("read: injected fault: " +
+                               std::string(std::strerror(fault.fault_errno)) +
+                               " (" + ByteProgress(read_bytes, size) + ")");
+      }
+      if (fault.kind == FaultAction::Kind::kShortIo) {
+        chunk = std::min(chunk, fault.max_bytes);
+      }
+    }
+    if (deadline.armed) {
+      MOCHY_RETURN_IF_ERROR(
+          AwaitReady(fd, POLLIN, deadline, "read", read_bytes, size));
+    }
+    const ssize_t n = ::read(fd, data + read_bytes, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Errno("read");
+      return Status::IOError("read: " + std::string(std::strerror(errno)) +
+                             " (" + ByteProgress(read_bytes, size) + ")");
     }
     if (n == 0) {
       if (read_bytes == 0) {
         *eof = true;
         return Status::OK();
       }
-      return Status::IOError("connection closed mid-frame");
+      return Status::IOError("connection closed mid-frame (" +
+                             ByteProgress(read_bytes, size) + ")");
     }
     read_bytes += static_cast<size_t>(n);
   }
@@ -57,11 +148,12 @@ Status ReadAll(int fd, char* data, size_t size, bool* eof) {
 
 }  // namespace
 
-Status WriteFrame(int fd, std::string_view payload) {
+Status WriteFrame(int fd, std::string_view payload, int timeout_ms) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame payload exceeds " +
                                    std::to_string(kMaxFrameBytes) + " bytes");
   }
+  const FrameDeadline deadline(timeout_ms);
   const uint32_t size = static_cast<uint32_t>(payload.size());
   unsigned char prefix[4] = {
       static_cast<unsigned char>(size & 0xff),
@@ -69,16 +161,17 @@ Status WriteFrame(int fd, std::string_view payload) {
       static_cast<unsigned char>((size >> 16) & 0xff),
       static_cast<unsigned char>((size >> 24) & 0xff),
   };
-  MOCHY_RETURN_IF_ERROR(
-      WriteAll(fd, reinterpret_cast<const char*>(prefix), sizeof(prefix)));
-  return WriteAll(fd, payload.data(), payload.size());
+  MOCHY_RETURN_IF_ERROR(WriteAll(fd, reinterpret_cast<const char*>(prefix),
+                                 sizeof(prefix), deadline));
+  return WriteAll(fd, payload.data(), payload.size(), deadline);
 }
 
-Result<FrameRead> ReadFrame(int fd) {
+Result<FrameRead> ReadFrame(int fd, int timeout_ms) {
+  const FrameDeadline deadline(timeout_ms);
   unsigned char prefix[4];
   bool eof = false;
-  MOCHY_RETURN_IF_ERROR(
-      ReadAll(fd, reinterpret_cast<char*>(prefix), sizeof(prefix), &eof));
+  MOCHY_RETURN_IF_ERROR(ReadAll(fd, reinterpret_cast<char*>(prefix),
+                                sizeof(prefix), &eof, deadline));
   FrameRead frame;
   if (eof) {
     frame.eof = true;
@@ -94,7 +187,8 @@ Result<FrameRead> ReadFrame(int fd) {
                            "-byte cap");
   }
   frame.payload.resize(size);
-  MOCHY_RETURN_IF_ERROR(ReadAll(fd, frame.payload.data(), size, &eof));
+  MOCHY_RETURN_IF_ERROR(
+      ReadAll(fd, frame.payload.data(), size, &eof, deadline));
   if (eof && size > 0) return Status::IOError("connection closed mid-frame");
   return frame;
 }
@@ -212,7 +306,57 @@ Result<int> ListenOn(const std::string& socket_path, int port) {
   return fd;
 }
 
-Result<int> ConnectTo(const std::string& socket_path, int port) {
+namespace {
+
+/// Connects `fd` to `addr`, optionally bounded by `connect_timeout_ms`:
+/// the dial goes non-blocking, a poll waits for completion, and SO_ERROR
+/// reports the outcome; the fd is returned to blocking mode either way.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addr_len,
+                          const std::string& peer, int connect_timeout_ms) {
+  if (connect_timeout_ms <= 0) {
+    if (::connect(fd, addr, addr_len) < 0) {
+      return Errno(("connect " + peer).c_str());
+    }
+    return Status::OK();
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return Errno("fcntl");
+  Status status = Status::OK();
+  if (::connect(fd, addr, addr_len) < 0) {
+    if (errno == EINPROGRESS || errno == EAGAIN) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, connect_timeout_ms);
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        status = Status::DeadlineExceeded(
+            "connect " + peer + " timed out after " +
+            std::to_string(connect_timeout_ms) + "ms");
+      } else if (ready < 0) {
+        status = Errno("poll");
+      } else {
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+        if (so_error != 0) {
+          status = Status::IOError("connect " + peer + ": " +
+                                   std::strerror(so_error));
+        }
+      }
+    } else {
+      status = Errno(("connect " + peer).c_str());
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return status;
+}
+
+}  // namespace
+
+Result<int> ConnectTo(const std::string& socket_path, int port,
+                      int connect_timeout_ms) {
   if (!socket_path.empty()) {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -222,8 +366,10 @@ Result<int> ConnectTo(const std::string& socket_path, int port) {
     std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) return Errno("socket");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      const Status status = Errno(("connect " + socket_path).c_str());
+    const Status status = ConnectWithTimeout(
+        fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr), socket_path,
+        connect_timeout_ms);
+    if (!status.ok()) {
       ::close(fd);
       return status;
     }
@@ -240,9 +386,10 @@ Result<int> ConnectTo(const std::string& socket_path, int port) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status status =
-        Errno(("connect port " + std::to_string(port)).c_str());
+  const Status status = ConnectWithTimeout(
+      fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+      "port " + std::to_string(port), connect_timeout_ms);
+  if (!status.ok()) {
     ::close(fd);
     return status;
   }

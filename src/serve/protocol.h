@@ -37,8 +37,16 @@ constexpr uint32_t kMaxFrameBytes = 16u << 20;
 
 /// Writes one frame (length prefix + payload) to `fd`, retrying short
 /// writes and EINTR. Errors with kInvalidArgument when the payload
-/// exceeds kMaxFrameBytes, kIOError on a broken connection.
-Status WriteFrame(int fd, std::string_view payload);
+/// exceeds kMaxFrameBytes, kIOError on a broken connection. Writes use
+/// MSG_NOSIGNAL, so a peer that disconnected mid-reply yields EPIPE as
+/// a Status instead of a process-killing SIGPIPE.
+///
+/// `timeout_ms > 0` bounds the *whole frame*: each write is preceded by
+/// a poll for writability against the deadline set when the call began,
+/// so a peer that stops draining its socket cannot pin the caller —
+/// the frame fails with kDeadlineExceeded carrying the byte counts.
+/// 0 keeps the historical blocking behavior.
+Status WriteFrame(int fd, std::string_view payload, int timeout_ms = 0);
 
 /// Result of ReadFrame: either a payload or a clean end-of-stream.
 struct FrameRead {
@@ -49,7 +57,12 @@ struct FrameRead {
 /// Reads one frame from `fd`. A clean EOF before any length byte yields
 /// {eof=true}; EOF mid-frame, an oversized length prefix, or a socket
 /// error yield kIOError.
-Result<FrameRead> ReadFrame(int fd);
+///
+/// `timeout_ms > 0` bounds the whole frame exactly like WriteFrame: a
+/// slow-loris peer that sends a length prefix and then stalls gets
+/// kDeadlineExceeded (with bytes-read counts) instead of holding the
+/// reader forever. 0 blocks indefinitely (historical behavior).
+Result<FrameRead> ReadFrame(int fd, int timeout_ms = 0);
 
 /// Splits on single spaces, dropping empty tokens ("a  b" -> ["a","b"]).
 std::vector<std::string_view> SplitTokens(std::string_view text);
@@ -76,8 +89,12 @@ Result<MotifCounts> DecodeCounts(std::string_view text);
 Result<int> ListenOn(const std::string& socket_path, int port);
 
 /// Connects a stream socket to a server opened with ListenOn (same
-/// address rules). Returns the connected fd.
-Result<int> ConnectTo(const std::string& socket_path, int port);
+/// address rules). Returns the connected fd. `connect_timeout_ms > 0`
+/// dials non-blocking and polls, failing with kDeadlineExceeded when
+/// the peer does not accept in time (the fd comes back in blocking
+/// mode either way); 0 uses the OS default blocking connect.
+Result<int> ConnectTo(const std::string& socket_path, int port,
+                      int connect_timeout_ms = 0);
 
 }  // namespace mochy
 

@@ -11,6 +11,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/parse.h"
 #include "common/thread_pool.h"
@@ -153,12 +154,16 @@ std::string ServerStats::ToString() const {
   std::string out;
   std::snprintf(line, sizeof(line),
                 "server queries=%llu count=%llu profile=%llu "
-                "similarity=%llu errors=%llu graphs=%zu\n",
+                "similarity=%llu errors=%llu overloaded=%llu dropped=%llu "
+                "active=%zu graphs=%zu\n",
                 static_cast<unsigned long long>(queries),
                 static_cast<unsigned long long>(count_queries),
                 static_cast<unsigned long long>(profile_queries),
                 static_cast<unsigned long long>(similarity_queries),
-                static_cast<unsigned long long>(errors), graphs);
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(overload_rejections),
+                static_cast<unsigned long long>(dropped_connections),
+                active_connections, graphs);
   out += line;
   std::snprintf(line, sizeof(line),
                 "cache hits=%llu misses=%llu hit_rate=%.4f entries=%zu "
@@ -432,6 +437,10 @@ ServerStats MotifServer::stats() const {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     snapshot.graphs = registry_.size();
   }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    snapshot.active_connections = active_connections_;
+  }
   return snapshot;
 }
 
@@ -439,6 +448,7 @@ void MotifServer::RequestStop() { stop_.store(true); }
 
 void MotifServer::HandleConnection(int fd) {
   int idle_ms = 0;
+  bool dropped = false;
   while (idle_ms < options_.idle_timeout_ms) {
     // Short poll slices so a stop request closes idle connections
     // promptly instead of after the full idle timeout.
@@ -450,13 +460,30 @@ void MotifServer::HandleConnection(int fd) {
       idle_ms += 200;
       continue;
     }
-    auto frame = ReadFrame(fd);
-    if (!frame.ok() || frame.value().eof) break;
+    // A frame has started (or the peer closed): the per-frame deadline
+    // takes over from the idle poll, so a stalled mid-frame peer — or
+    // one not draining its reply — cannot pin this worker.
+    auto frame = ReadFrame(fd, options_.io_timeout_ms);
+    if (!frame.ok()) {
+      dropped = true;
+      break;
+    }
+    if (frame.value().eof) break;
     const std::string response = HandleRequest(frame.value().payload);
-    if (!WriteFrame(fd, response).ok()) break;
+    if (!WriteFrame(fd, response, options_.io_timeout_ms).ok()) {
+      dropped = true;
+      break;
+    }
+    // Graceful drain: the request in flight when stop was requested is
+    // answered, further requests on this connection are not.
+    if (stop_.load()) break;
     idle_ms = 0;
   }
   ::close(fd);
+  if (dropped) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.dropped_connections;
+  }
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     --active_connections_;
@@ -484,9 +511,37 @@ Status MotifServer::Serve() {
     if (ready == 0) continue;
     const int conn = ::accept(fd, nullptr, nullptr);
     if (conn < 0) continue;
+    const FaultAction fault = MOCHY_FAULT_POINT("server.accept");
+    if (fault.kind == FaultAction::Kind::kError) {
+      ::close(conn);
+      continue;
+    }
+    bool overloaded = false;
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
-      ++active_connections_;
+      if (options_.max_connections != 0 &&
+          active_connections_ >= options_.max_connections) {
+        overloaded = true;
+      } else {
+        ++active_connections_;
+      }
+    }
+    if (overloaded) {
+      // Shed load with a typed response instead of queueing: the frame
+      // is tiny (fits any socket buffer), so the short write deadline
+      // only guards against a pathological peer stalling the acceptor.
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.overload_rejections;
+      }
+      WriteFrame(conn,
+                 "error code=Unavailable server overloaded "
+                 "(max_connections=" +
+                     std::to_string(options_.max_connections) +
+                     "), retry with backoff\n",
+                 100);
+      ::close(conn);
+      continue;
     }
     SharedThreadPool().Submit([this, conn] { HandleConnection(conn); });
   }

@@ -73,6 +73,16 @@ struct ServeOptions {
   /// back-to-back; this bounds how long an abandoned connection can pin
   /// a pool worker).
   int idle_timeout_ms = 60'000;
+  /// Per-frame I/O deadline (serve/protocol.h semantics): once a frame
+  /// has started, a peer that stalls mid-frame — slow-loris request or
+  /// undrained reply — is cut off after this long instead of pinning a
+  /// pool worker forever. 0 disables the deadline.
+  int io_timeout_ms = 10'000;
+  /// Concurrent-connection cap. An accept beyond the cap is answered
+  /// with one "error code=Unavailable ..." frame and closed — load is
+  /// shed with a typed response the client can back off on, instead of
+  /// queueing unbounded work on the pool. 0 means uncapped.
+  size_t max_connections = 256;
 };
 
 /// Snapshot of server effectiveness counters, plus the cache's.
@@ -82,6 +92,10 @@ struct ServerStats {
   uint64_t profile_queries = 0;     ///< `profile` requests
   uint64_t similarity_queries = 0;  ///< `similarity` requests
   uint64_t errors = 0;              ///< requests answered with "error ..."
+  uint64_t overload_rejections = 0; ///< accepts shed at max_connections
+  uint64_t dropped_connections = 0; ///< connections closed on an I/O error
+                                    ///  (timeout, truncation, injected fault)
+  size_t active_connections = 0;    ///< currently open connections
   size_t graphs = 0;                ///< resident registry entries
   LruCacheStats cache;              ///< result-cache counters
 
@@ -162,7 +176,7 @@ class MotifServer {
   ServerStats stats_;
 
   std::atomic<bool> stop_{false};
-  std::mutex connections_mutex_;
+  mutable std::mutex connections_mutex_;
   std::condition_variable connections_done_;
   size_t active_connections_ = 0;
 };

@@ -1,0 +1,230 @@
+// Tests for the deterministic fault-injection framework (common/fault.h)
+// and the backoff/retry helper (common/backoff.h): seed reproducibility
+// (the property chaos tests lean on), explicit nth/every rules, counter
+// bookkeeping, the disarmed fast path, backoff schedule shape, and the
+// retry loop's retriable/non-retriable discrimination.
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/fault.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+
+namespace mochy {
+namespace {
+
+// The injector is process-global; every test arms its own plan and
+// disarms on the way out so tests stay independent.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedPointsAreInertAndCheap) {
+  EXPECT_FALSE(FaultInjector::Armed());
+  const FaultAction action = MOCHY_FAULT_POINT("anything");
+  EXPECT_TRUE(action.none());
+  // Disarmed hits are not even counted: the macro short-circuits on the
+  // atomic without touching the injector.
+  EXPECT_EQ(FaultInjector::Global().hits("anything"), 0u);
+}
+
+TEST_F(FaultInjectorTest, NthRuleFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.rules.push_back({"io.write", /*nth=*/3, /*every=*/0, FaultError(5)});
+  FaultInjector::Global().Arm(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(!MOCHY_FAULT_POINT("io.write").none());
+  }
+  EXPECT_EQ(fired, std::vector<bool>({false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(FaultInjector::Global().hits("io.write"), 6u);
+  EXPECT_EQ(FaultInjector::Global().fired("io.write"), 1u);
+}
+
+TEST_F(FaultInjectorTest, EveryRuleFiresOnMultiples) {
+  FaultPlan plan;
+  plan.rules.push_back(
+      {"io.read", /*nth=*/0, /*every=*/3, FaultShortIo(1)});
+  FaultInjector::Global().Arm(plan);
+  int fired = 0;
+  for (int i = 1; i <= 9; ++i) {
+    const FaultAction action = MOCHY_FAULT_POINT("io.read");
+    if (!action.none()) {
+      ++fired;
+      EXPECT_EQ(action.kind, FaultAction::Kind::kShortIo);
+      EXPECT_EQ(action.max_bytes, 1u);
+      EXPECT_EQ(i % 3, 0) << "fired off-schedule at hit " << i;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FaultInjectorTest, RulesAreScopedToTheirPoint) {
+  FaultPlan plan;
+  plan.rules.push_back({"a", /*nth=*/1, /*every=*/0, FaultError()});
+  FaultInjector::Global().Arm(plan);
+  EXPECT_TRUE(MOCHY_FAULT_POINT("b").none());
+  EXPECT_FALSE(MOCHY_FAULT_POINT("a").none());
+  EXPECT_EQ(FaultInjector::Global().hits("b"), 1u);
+  EXPECT_EQ(FaultInjector::Global().fired("b"), 0u);
+}
+
+TEST_F(FaultInjectorTest, BackgroundRateIsDeterministicPerSeed) {
+  // Same seed + same hit sequence => the exact same fire pattern; a
+  // different seed gives a different pattern. This is the property that
+  // makes a chaos run reproducible from its seed.
+  auto run = [](uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 0.2;
+    FaultInjector::Global().Arm(plan);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(!MOCHY_FAULT_POINT("chaos.point").none());
+    }
+    FaultInjector::Global().Disarm();
+    return pattern;
+  };
+  const auto first = run(7);
+  const auto second = run(7);
+  const auto other = run(8);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultInjectorTest, BackgroundRateFiresNearTheConfiguredRate) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rate = 0.1;
+  FaultInjector::Global().Arm(plan);
+  for (int i = 0; i < 2000; ++i) (void)MOCHY_FAULT_POINT("p");
+  const uint64_t fired = FaultInjector::Global().fired("p");
+  // 2000 Bernoulli(0.1) trials: far outside [100, 300] would mean the
+  // coin is broken, not unlucky.
+  EXPECT_GE(fired, 100u);
+  EXPECT_LE(fired, 300u);
+  EXPECT_EQ(FaultInjector::Global().total_fired(), fired);
+}
+
+TEST_F(FaultInjectorTest, RateStreamsDifferByPoint) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.rate = 0.3;
+  FaultInjector::Global().Arm(plan);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 100; ++i) a.push_back(!MOCHY_FAULT_POINT("pa").none());
+  for (int i = 0; i < 100; ++i) b.push_back(!MOCHY_FAULT_POINT("pb").none());
+  EXPECT_NE(a, b);  // independent per-point streams
+}
+
+// ---------------------------------------------------------- backoff --
+
+TEST(BackoffTest, ScheduleGrowsExponentiallyUnderTheCap) {
+  BackoffOptions options;
+  options.max_attempts = 10;
+  options.initial_delay_ms = 10.0;
+  options.multiplier = 2.0;
+  options.max_delay_ms = 100.0;
+  options.jitter = 0.0;  // pure exponential for this test
+  Backoff backoff(options);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 10.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 20.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 40.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 80.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 100.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 100.0);
+}
+
+TEST(BackoffTest, JitterIsSeededAndBounded) {
+  BackoffOptions options;
+  options.initial_delay_ms = 100.0;
+  options.jitter = 0.5;
+  options.seed = 3;
+  options.max_attempts = 8;
+  Backoff a(options), b(options);
+  BackoffOptions other = options;
+  other.seed = 4;
+  Backoff c(other);
+  bool any_difference = false;
+  for (int i = 0; i < 6; ++i) {
+    const double da = a.NextDelayMs();
+    EXPECT_DOUBLE_EQ(da, b.NextDelayMs());  // same seed, same schedule
+    if (da != c.NextDelayMs()) any_difference = true;
+    // jitter=0.5 scales into [0.5, 1.0] x the capped delay.
+    EXPECT_GE(da, 0.5 * 100.0 - 1e-9);
+    EXPECT_LE(da, 100.0 * 128.0);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryTest, SucceedsWithoutRetryingWhenTheFirstTryWorks) {
+  int calls = 0;
+  int sleeps = 0;
+  const Status status = RetryWithBackoff(
+      BackoffOptions{}, [&] { ++calls; return Status::OK(); },
+      [&](double) { ++sleeps; });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+TEST(RetryTest, RetriesRetriableFailuresUntilSuccess) {
+  int calls = 0;
+  std::vector<double> delays;
+  BackoffOptions options;
+  options.max_attempts = 5;
+  options.jitter = 0.0;
+  options.initial_delay_ms = 1.0;
+  auto result = RetryWithBackoff(
+      options,
+      [&]() -> Result<int> {
+        ++calls;
+        if (calls < 3) return Status::IOError("flaky");
+        return 42;
+      },
+      [&](double ms) { delays.push_back(ms); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(delays, std::vector<double>({1.0, 2.0}));
+}
+
+TEST(RetryTest, DoesNotRetryDeterministicFailures) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(
+      BackoffOptions{},
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("wrong, and will stay wrong");
+      },
+      [](double) { FAIL() << "must not sleep for a non-retriable failure"; });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  int calls = 0;
+  BackoffOptions options;
+  options.max_attempts = 3;
+  const Status status = RetryWithBackoff(
+      options, [&] { ++calls; return Status::Unavailable("overloaded"); },
+      [](double) {});
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, RetriableCodesAreTheTransientOnes) {
+  EXPECT_TRUE(IsRetriableStatus(Status::IOError("x")));
+  EXPECT_TRUE(IsRetriableStatus(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(IsRetriableStatus(Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetriableStatus(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetriableStatus(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetriableStatus(Status::Internal("x")));
+  EXPECT_FALSE(IsRetriableStatus(Status::OK()));
+}
+
+}  // namespace
+}  // namespace mochy

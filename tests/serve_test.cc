@@ -7,12 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/lru_cache.h"
 #include "gtest/gtest.h"
 #include "hypergraph/fingerprint.h"
@@ -446,6 +448,337 @@ TEST(MotifServerTest, ServesQueriesOverAUnixSocket) {
   serving.join();
   // Serve() unlinks the socket path on the way out.
   EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+// ------------------------------------------------------ robustness --
+
+/// A MotifServer bound to a fresh unix socket, serving on its own
+/// thread until the test ends. The robustness tests below all need one.
+struct LiveServer {
+  explicit LiveServer(ServeOptions options_in) : server([&options_in] {
+    if (options_in.socket_path.empty()) {
+      options_in.socket_path = "/tmp/mochy_robust_test_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(next_id++) + ".sock";
+    }
+    return options_in;
+  }()) {
+    path = options_in.socket_path;
+    EXPECT_TRUE(server.LoadGraph("g", TestGraph()).ok());
+    serving = std::thread([this] { EXPECT_TRUE(server.Serve().ok()); });
+    // The probe completes a full request round-trip: a bare connect
+    // could sit unaccepted in the listen backlog and later steal a
+    // connection slot from the test's own clients.
+    MotifClient probe(path, 0);
+    for (int attempt = 0; attempt < 250; ++attempt) {
+      if (probe.Connect().ok()) {
+        EXPECT_TRUE(probe.Request("stats").ok());
+        probe.Close();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "server never came up on " << path;
+  }
+
+  ~LiveServer() {
+    server.RequestStop();  // the accept loop polls stop_ in 200ms slices
+    serving.join();
+  }
+
+  /// Polls until at least `n` connections were dropped. The peer's side
+  /// of a bad exchange finishes before the server even accepts it, so
+  /// counter checks have to wait for the handler to catch up.
+  bool DroppedAtLeast(uint64_t n, int budget_ms) {
+    for (int waited = 0; waited < budget_ms; waited += 20) {
+      if (server.stats().dropped_connections >= n) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return server.stats().dropped_connections >= n;
+  }
+
+  /// Polls until no connection is active (slots must drain, never leak).
+  bool DrainsWithin(int budget_ms) {
+    for (int waited = 0; waited < budget_ms; waited += 20) {
+      if (server.stats().active_connections == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return server.stats().active_connections == 0;
+  }
+
+  static inline int next_id = 0;
+  std::string path;
+  MotifServer server;
+  std::thread serving;
+};
+
+/// Raw frame-prefix writer for malformed-peer tests: claims
+/// `claimed_len` payload bytes, then sends only `body`.
+void SendTruncatedFrame(int fd, uint32_t claimed_len, std::string_view body) {
+  const char prefix[4] = {
+      static_cast<char>(claimed_len & 0xff),
+      static_cast<char>((claimed_len >> 8) & 0xff),
+      static_cast<char>((claimed_len >> 16) & 0xff),
+      static_cast<char>((claimed_len >> 24) & 0xff)};
+  ASSERT_EQ(::send(fd, prefix, 4, MSG_NOSIGNAL), 4);
+  if (!body.empty()) {
+    ASSERT_EQ(::send(fd, body.data(), body.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(body.size()));
+  }
+}
+
+TEST(ServerRobustnessTest, SurvivesAClientThatDisconnectsMidReply) {
+  // SIGPIPE regression: the peer vanishes between request and response,
+  // so the server's reply write hits a closed socket. Without
+  // MSG_NOSIGNAL that raises SIGPIPE and kills the process.
+  LiveServer live{ServeOptions{}};
+  for (int round = 0; round < 3; ++round) {
+    auto fd = ConnectTo(live.path, 0, 1000);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(WriteFrame(fd.value(), "count g algorithm=exact").ok());
+    ::close(fd.value());  // gone before the server answers
+  }
+  // The server is still alive and still correct.
+  ASSERT_TRUE(live.DrainsWithin(5000));
+  MotifClient client(live.path, 0);
+  ASSERT_TRUE(client.Connect().ok());
+  auto response = client.Request("count g algorithm=exact");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().rfind("ok kind=count", 0), 0u);
+}
+
+TEST(ServerRobustnessTest, DropsATruncatedFrameWithoutDying) {
+  LiveServer live{ServeOptions{}};
+  auto fd = ConnectTo(live.path, 0, 1000);
+  ASSERT_TRUE(fd.ok());
+  // The prefix promises 100 bytes; only 7 ever arrive, then EOF.
+  SendTruncatedFrame(fd.value(), 100, "count g");
+  ::close(fd.value());
+  ASSERT_TRUE(live.DrainsWithin(5000));
+  EXPECT_TRUE(live.DroppedAtLeast(1, 5000));
+  MotifClient client(live.path, 0);
+  ASSERT_TRUE(client.Connect().ok());
+  auto response = client.Request("stats");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().rfind("ok kind=stats", 0), 0u);
+}
+
+TEST(ServerRobustnessTest, RejectsAnOversizedFramePrefix) {
+  LiveServer live{ServeOptions{}};
+  auto fd = ConnectTo(live.path, 0, 1000);
+  ASSERT_TRUE(fd.ok());
+  // A prefix past kMaxFrameBytes must be refused outright — not
+  // trusted as an allocation size.
+  SendTruncatedFrame(fd.value(),
+                     static_cast<uint32_t>(kMaxFrameBytes) + 1, "");
+  auto reply = ReadFrame(fd.value(), 5000);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().eof);  // server closed on us
+  ::close(fd.value());
+  ASSERT_TRUE(live.DrainsWithin(5000));
+  MotifClient client(live.path, 0);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_TRUE(client.Request("stats").ok());
+}
+
+TEST(ServerRobustnessTest, CutsOffAMidFrameStallAtTheDeadline) {
+  // Slow-loris: a peer starts a frame and stalls. The per-frame
+  // deadline (not the much longer idle timeout) must free the worker.
+  ServeOptions options;
+  options.io_timeout_ms = 300;
+  options.idle_timeout_ms = 60'000;
+  LiveServer live{options};
+  auto fd = ConnectTo(live.path, 0, 1000);
+  ASSERT_TRUE(fd.ok());
+  SendTruncatedFrame(fd.value(), 100, "count g alg");  // ...and stall
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = ReadFrame(fd.value(), 10'000);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().eof);  // deadline fired, connection closed
+  EXPECT_LT(elapsed.count(), 5000) << "idle timeout fired, not the deadline";
+  ::close(fd.value());
+  ASSERT_TRUE(live.DrainsWithin(5000));
+  EXPECT_TRUE(live.DroppedAtLeast(1, 5000));
+  MotifClient client(live.path, 0);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_TRUE(client.Request("count g algorithm=exact").ok());
+}
+
+TEST(ServerRobustnessTest, ShedsLoadBeyondMaxConnectionsWithATypedError) {
+  ServeOptions options;
+  options.max_connections = 1;
+  LiveServer live{options};
+  // The construction probe held the only slot for an instant; wait for
+  // it to drain so A is the one admitted.
+  ASSERT_TRUE(live.DrainsWithin(5000));
+
+  // A owns the only slot (a completed request proves it was accepted).
+  MotifClient a(live.path, 0);
+  ASSERT_TRUE(a.Connect().ok());
+  auto held = a.Request("count g algorithm=exact");
+  ASSERT_TRUE(held.ok());
+  ASSERT_EQ(held.value().rfind("ok kind=count", 0), 0u) << held.value();
+
+  // B is shed with a typed Unavailable frame, not a hang or a RST. The
+  // server pushes the frame without reading a request, so B just reads
+  // (writing first can race the server's close into an EPIPE).
+  auto b = ConnectTo(live.path, 0, 1000);
+  ASSERT_TRUE(b.ok());
+  auto shed = ReadFrame(b.value(), 5000);
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  ASSERT_FALSE(shed.value().eof);
+  EXPECT_EQ(shed.value().payload.rfind("error code=Unavailable", 0), 0u)
+      << shed.value().payload;
+  ::close(b.value());
+  EXPECT_GE(live.server.stats().overload_rejections, 1u);
+
+  // The slot is not leaked: once A leaves, the next client gets in.
+  a.Close();
+  ASSERT_TRUE(live.DrainsWithin(5000));
+  MotifClient c(live.path, 0);
+  ASSERT_TRUE(c.Connect().ok());
+  auto admitted = c.Request("count g algorithm=exact");
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted.value().rfind("ok kind=count", 0), 0u);
+}
+
+TEST(ServerRobustnessTest, RetryRidesOutAnOverloadedWindow) {
+  ServeOptions options;
+  options.max_connections = 1;
+  LiveServer live{options};
+  ASSERT_TRUE(live.DrainsWithin(5000));  // let the construction probe drain
+
+  MotifClient holder(live.path, 0);
+  ASSERT_TRUE(holder.Connect().ok());
+  auto held = holder.Request("count g algorithm=exact");
+  ASSERT_TRUE(held.ok());
+  ASSERT_EQ(held.value().rfind("ok kind=count", 0), 0u) << held.value();
+
+  // The holder leaves 150ms in; B's retry loop (Unavailable is
+  // retriable) must land a successful attempt after that.
+  std::thread release([&holder] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    holder.Close();
+  });
+  ClientOptions retrying;
+  retrying.backoff.max_attempts = 10;
+  retrying.backoff.initial_delay_ms = 50.0;
+  retrying.backoff.seed = 5;
+  MotifClient b(live.path, 0, retrying);
+  auto response = b.RequestWithRetry("count g algorithm=exact");
+  release.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().rfind("ok kind=count", 0), 0u);
+}
+
+TEST(ServerRobustnessTest, InjectedWriteFaultDropsTheConnectionNotTheServer) {
+  LiveServer live{ServeOptions{}};
+  // The request travels via raw sends (no fault points), so the first
+  // "protocol.write" hit is the server's reply: it fails with the
+  // injected EIO, the server drops the connection and carries on.
+  auto fd = ConnectTo(live.path, 0, 1000);
+  ASSERT_TRUE(fd.ok());
+  // Armed before the request goes out: the reply write must be the
+  // first (and only) protocol.write hit.
+  FaultPlan plan;
+  plan.rules.push_back(
+      {"protocol.write", /*nth=*/1, /*every=*/0, FaultError(EIO)});
+  FaultInjector::Global().Arm(plan);
+  const std::string request = "count g algorithm=exact";
+  SendTruncatedFrame(fd.value(), static_cast<uint32_t>(request.size()),
+                     request);
+  auto reply = ReadFrame(fd.value(), 10'000);
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().eof);  // reply write failed -> closed
+  ::close(fd.value());
+  ASSERT_TRUE(live.DrainsWithin(5000));
+  EXPECT_TRUE(live.DroppedAtLeast(1, 5000));
+  EXPECT_GE(FaultInjector::Global().fired("protocol.write"), 1u);
+  MotifClient client(live.path, 0);
+  ASSERT_TRUE(client.Connect().ok());
+  auto ok = client.Request("count g algorithm=exact");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().rfind("ok kind=count", 0), 0u);
+}
+
+TEST(ServerRobustnessTest, ChaosScheduleNeverCrashesOrCorruptsAnAnswer) {
+  // The chaos oracle: with a seeded background fault rate on every
+  // frame-I/O point (both sides of the wire live in this process), a
+  // mixed workload of retrying clients must (a) never crash the server,
+  // (b) never leak a connection slot, and (c) only ever observe
+  // bit-identical payloads or typed transport errors — never a torn or
+  // wrong answer.
+  LiveServer live{ServeOptions{}};
+  const std::vector<std::string> requests = {
+      "count g algorithm=exact",
+      "count g algorithm=link-sample samples=300 seed=7",
+      "profile g random=2 seed=3 ratio=0.2",
+  };
+  // Reference bodies come from the in-process dispatcher — the same
+  // code path the socket loop frames.
+  const auto body = [](const std::string& response) {
+    return response.substr(response.find('\n'));
+  };
+  std::vector<std::string> want;
+  for (const std::string& request : requests) {
+    const std::string response = live.server.HandleRequest(request);
+    ASSERT_EQ(response.rfind("ok ", 0), 0u) << response;
+    want.push_back(body(response));
+  }
+
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.rate = 0.02;  // ~2% of frame reads/writes fail with EIO
+  FaultInjector::Global().Arm(plan);
+  constexpr size_t kClients = 4;
+  constexpr size_t kRounds = 12;
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<int> hard_failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOptions retrying;
+      retrying.backoff.max_attempts = 12;
+      retrying.backoff.initial_delay_ms = 2.0;
+      retrying.backoff.max_delay_ms = 50.0;
+      retrying.backoff.seed = 100 + c;
+      MotifClient client(live.path, 0, retrying);
+      for (size_t r = 0; r < kRounds; ++r) {
+        const size_t q = (c + r) % requests.size();
+        auto response = client.RequestWithRetry(requests[q]);
+        if (!response.ok()) {
+          // A typed transport error after exhausted retries is an
+          // acceptable outcome under chaos; a wrong answer is not.
+          ++hard_failures[c];
+          continue;
+        }
+        if (response.value().rfind("ok ", 0) != 0 ||
+            body(response.value()) != want[q]) {
+          ++mismatches[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  FaultInjector::Global().Disarm();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(mismatches[c], 0) << "client " << c << " saw a corrupt answer";
+  }
+  // Faults actually fired — the schedule exercised the error paths.
+  EXPECT_GT(FaultInjector::Global().total_fired(), 0u);
+  // No leaked slots, and the server still answers cleanly.
+  ASSERT_TRUE(live.DrainsWithin(10'000));
+  MotifClient after(live.path, 0);
+  ASSERT_TRUE(after.Connect().ok());
+  auto response = after.Request("count g algorithm=exact");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(body(response.value()), want[0]);
+  after.Close();
+  EXPECT_TRUE(live.DrainsWithin(5000));  // every slot returned
 }
 
 }  // namespace

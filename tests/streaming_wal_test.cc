@@ -1,0 +1,424 @@
+// Tests for crash-safe streaming (motif/streaming_wal.h): WAL round
+// trips, checkpoint-bounded replay, torn-tail truncation, corrupt
+// checkpoint fallback, injected append/fsync faults, and the
+// kill-recovery oracle — a child process SIGKILLed at an arbitrary
+// point mid-stream must recover to counts bit-identical to an
+// uninterrupted run of the durable prefix AND to
+// reference::CountMotifsExact on the recovered graph, across seeds.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "hypergraph/projection.h"
+#include "motif/reference.h"
+#include "motif/streaming.h"
+#include "motif/streaming_wal.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+std::string TempWalPath(const std::string& name) {
+  return "/tmp/mochy_wal_test_" + std::to_string(::getpid()) + "_" + name +
+         ".wal";
+}
+
+void RemoveWalFiles(const std::string& path) {
+  ::unlink(path.c_str());
+  ::unlink((path + ".ckpt").c_str());
+  ::unlink((path + ".ckpt.tmp").c_str());
+}
+
+void ExpectBitIdentical(const MotifCounts& got, const MotifCounts& want,
+                        const std::string& context) {
+  for (int t = 1; t <= kNumHMotifs; ++t) {
+    EXPECT_EQ(got[t], want[t]) << context << ": motif " << t;
+  }
+}
+
+MotifCounts OracleCounts(const Hypergraph& graph) {
+  const auto projection = ProjectedGraph::Build(graph, 1).value();
+  return reference::CountMotifsExact(graph, projection, 1);
+}
+
+/// Applies up to `max_records` mutating ops of `schedule` through any
+/// engine with AddEdge/RemoveEdge (StreamingEngine or the persistent
+/// wrapper). Returns the number applied; `live` tracks the engine ids
+/// of live edges in insertion order (the schedule's remove_index
+/// contract). Stops early on any failure.
+template <typename Engine>
+uint64_t ApplySchedulePrefix(Engine& engine,
+                             const std::vector<testing::DynamicOp>& schedule,
+                             uint64_t max_records,
+                             std::vector<EdgeId>* live) {
+  uint64_t applied = 0;
+  for (const testing::DynamicOp& op : schedule) {
+    if (applied >= max_records) break;
+    if (op.kind == testing::DynamicOp::Kind::kAdd) {
+      auto added = engine.AddEdge(
+          std::span<const NodeId>(op.nodes.data(), op.nodes.size()));
+      if (!added.ok()) break;
+      live->push_back(added.value());
+    } else if (op.kind == testing::DynamicOp::Kind::kRemove) {
+      if (op.remove_index >= live->size()) break;
+      const EdgeId id = (*live)[op.remove_index];
+      if (!engine.RemoveEdge(id).ok()) break;
+      live->erase(live->begin() + static_cast<ptrdiff_t>(op.remove_index));
+    } else {
+      continue;  // queries do not mutate and are not logged
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+std::vector<testing::DynamicOp> TestSchedule(uint64_t seed,
+                                             size_t num_ops = 200) {
+  return testing::RandomDynamicSchedule(num_ops, /*num_nodes=*/30,
+                                        /*max_edge_size=*/5,
+                                        /*remove_ratio=*/0.25,
+                                        /*query_ratio=*/0.0, seed);
+}
+
+TEST(StreamingWalTest, RecoversTheFullStreamAfterACleanClose) {
+  const std::string path = TempWalPath("roundtrip");
+  RemoveWalFiles(path);
+  const auto schedule = TestSchedule(101);
+
+  WalOptions options;
+  options.path = path;
+  options.checkpoint_interval = 0;  // pure WAL replay
+  MotifCounts want;
+  uint64_t written = 0;
+  {
+    auto engine = PersistentStreamingEngine::Open(options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    std::vector<EdgeId> live;
+    written = ApplySchedulePrefix(*engine.value(), schedule, ~0ull, &live);
+    ASSERT_GT(written, 0u);
+    want = engine.value()->counts();
+  }
+  auto recovered = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->records(), written);
+  EXPECT_EQ(recovered.value()->recovery().replayed_records, written);
+  EXPECT_EQ(recovered.value()->recovery().truncated_bytes, 0u);
+  ExpectBitIdentical(recovered.value()->counts(), want, "recovered");
+  const Hypergraph snapshot =
+      recovered.value()->engine().graph().Snapshot().value();
+  ExpectBitIdentical(recovered.value()->counts(), OracleCounts(snapshot),
+                     "oracle recount");
+
+  // The recovered engine keeps streaming: one more arrival lands
+  // bit-identically to the uninterrupted engine fed the same stream.
+  ASSERT_TRUE(recovered.value()->AddEdge({1, 2, 3}).ok());
+  StreamingEngine uninterrupted;
+  std::vector<EdgeId> live;
+  ApplySchedulePrefix(uninterrupted, schedule, ~0ull, &live);
+  ASSERT_TRUE(uninterrupted.AddEdge({1, 2, 3}).ok());
+  ExpectBitIdentical(recovered.value()->counts(), uninterrupted.counts(),
+                     "post-recovery arrival");
+  RemoveWalFiles(path);
+}
+
+TEST(StreamingWalTest, CheckpointBoundsTailReplay) {
+  const std::string path = TempWalPath("checkpoint");
+  RemoveWalFiles(path);
+  const auto schedule = TestSchedule(102);
+
+  WalOptions options;
+  options.path = path;
+  options.checkpoint_interval = 16;
+  MotifCounts want;
+  uint64_t written = 0;
+  {
+    auto engine = PersistentStreamingEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    std::vector<EdgeId> live;
+    written = ApplySchedulePrefix(*engine.value(), schedule, ~0ull, &live);
+    want = engine.value()->counts();
+  }
+  auto recovered = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // Auto-checkpoints ran, so recovery restored one and replayed less
+  // than the full log.
+  EXPECT_GT(recovered.value()->recovery().checkpoint_records, 0u);
+  EXPECT_LT(recovered.value()->recovery().replayed_records, written);
+  EXPECT_EQ(recovered.value()->records(), written);
+  ExpectBitIdentical(recovered.value()->counts(), want, "ckpt recovery");
+  const Hypergraph snapshot =
+      recovered.value()->engine().graph().Snapshot().value();
+  ExpectBitIdentical(recovered.value()->counts(), OracleCounts(snapshot),
+                     "ckpt oracle recount");
+  RemoveWalFiles(path);
+}
+
+TEST(StreamingWalTest, TornTailIsTruncatedNotFatal) {
+  const std::string path = TempWalPath("torn");
+  RemoveWalFiles(path);
+  const auto schedule = TestSchedule(103, 60);
+
+  WalOptions options;
+  options.path = path;
+  options.checkpoint_interval = 0;
+  MotifCounts want;
+  uint64_t written = 0;
+  {
+    auto engine = PersistentStreamingEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    std::vector<EdgeId> live;
+    written = ApplySchedulePrefix(*engine.value(), schedule, ~0ull, &live);
+    want = engine.value()->counts();
+  }
+  // Crash mid-append: half a record header lands at the tail.
+  {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    const char torn[5] = {42, 0, 0, 0, 7};
+    ASSERT_EQ(::write(fd, torn, sizeof(torn)), 5);
+    ::close(fd);
+  }
+  auto recovered = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->recovery().truncated_bytes, 5u);
+  EXPECT_EQ(recovered.value()->records(), written);
+  ExpectBitIdentical(recovered.value()->counts(), want, "torn tail");
+  // Appending after the truncation produces a clean log again.
+  ASSERT_TRUE(recovered.value()->AddEdge({4, 5}).ok());
+  RemoveWalFiles(path);
+}
+
+TEST(StreamingWalTest, CorruptCheckpointFallsBackToFullReplay) {
+  const std::string path = TempWalPath("badckpt");
+  RemoveWalFiles(path);
+  const auto schedule = TestSchedule(104, 80);
+
+  WalOptions options;
+  options.path = path;
+  options.checkpoint_interval = 10;
+  MotifCounts want;
+  uint64_t written = 0;
+  {
+    auto engine = PersistentStreamingEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    std::vector<EdgeId> live;
+    written = ApplySchedulePrefix(*engine.value(), schedule, ~0ull, &live);
+    want = engine.value()->counts();
+  }
+  // Flip a byte in the middle of the checkpoint: its checksum fails and
+  // recovery must fall back to replaying the whole WAL.
+  {
+    const std::string ckpt = path + ".ckpt";
+    const int fd = ::open(ckpt.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    char byte = 0;
+    ASSERT_EQ(::pread(fd, &byte, 1, 40), 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    ASSERT_EQ(::pwrite(fd, &byte, 1, 40), 1);
+    ::close(fd);
+  }
+  auto recovered = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->recovery().checkpoint_records, 0u);
+  EXPECT_EQ(recovered.value()->recovery().replayed_records, written);
+  ExpectBitIdentical(recovered.value()->counts(), want, "ckpt fallback");
+  RemoveWalFiles(path);
+}
+
+TEST(StreamingWalTest, InjectedLogFaultsRejectTheUpdateWithoutApplyingIt) {
+  const std::string path = TempWalPath("faults");
+  RemoveWalFiles(path);
+  WalOptions options;
+  options.path = path;
+  options.checkpoint_interval = 0;
+  auto engine = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->AddEdge({1, 2, 3}).ok());
+  const MotifCounts before = engine.value()->counts();
+
+  // fsync failure: the record is not durable, so the update must not
+  // apply — counts and record count stay put.
+  FaultPlan plan;
+  plan.rules.push_back({"wal.fsync", /*nth=*/1, /*every=*/0, FaultError(5)});
+  FaultInjector::Global().Arm(plan);
+  auto failed = engine.value()->AddEdge({2, 3, 4});
+  FaultInjector::Global().Disarm();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  ExpectBitIdentical(engine.value()->counts(), before, "after fsync fault");
+  EXPECT_EQ(engine.value()->records(), 1u);
+
+  // Torn append: same contract, and the half-written bytes must be
+  // scrubbed so the log stays clean for the next append.
+  FaultPlan torn;
+  torn.rules.push_back({"wal.append", /*nth=*/1, /*every=*/0,
+                        FaultShortIo(3)});
+  FaultInjector::Global().Arm(torn);
+  auto torn_result = engine.value()->AddEdge({3, 4, 5});
+  FaultInjector::Global().Disarm();
+  ASSERT_FALSE(torn_result.ok());
+  EXPECT_EQ(engine.value()->records(), 1u);
+
+  // The engine recovers in-line: the next update goes through, and a
+  // reopen sees exactly the two durable records.
+  ASSERT_TRUE(engine.value()->AddEdge({4, 5, 6}).ok());
+  const MotifCounts want = engine.value()->counts();
+  engine.value().reset();
+  auto recovered = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->records(), 2u);
+  EXPECT_EQ(recovered.value()->recovery().truncated_bytes, 0u);
+  ExpectBitIdentical(recovered.value()->counts(), want, "after faults");
+  RemoveWalFiles(path);
+}
+
+TEST(StreamingWalTest, InjectedCheckpointFaultsLeaveThePreviousCheckpoint) {
+  const std::string path = TempWalPath("ckptfault");
+  RemoveWalFiles(path);
+  WalOptions options;
+  options.path = path;
+  options.checkpoint_interval = 0;
+  auto engine = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->AddEdge({1, 2, 3}).ok());
+  ASSERT_TRUE(engine.value()->Checkpoint().ok());
+  ASSERT_TRUE(engine.value()->AddEdge({2, 3, 4}).ok());
+
+  for (const char* point : {"wal.checkpoint.write", "wal.checkpoint.rename"}) {
+    FaultPlan plan;
+    plan.rules.push_back({point, /*nth=*/1, /*every=*/0, FaultError(5)});
+    FaultInjector::Global().Arm(plan);
+    const Status failed = engine.value()->Checkpoint();
+    FaultInjector::Global().Disarm();
+    EXPECT_EQ(failed.code(), StatusCode::kIOError) << point;
+  }
+  const MotifCounts want = engine.value()->counts();
+  engine.value().reset();
+  // The surviving checkpoint is the first one (1 record); the tail
+  // replays the second arrival on top of it.
+  auto recovered = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->recovery().checkpoint_records, 1u);
+  EXPECT_EQ(recovered.value()->recovery().replayed_records, 1u);
+  ExpectBitIdentical(recovered.value()->counts(), want, "ckpt fault");
+  RemoveWalFiles(path);
+}
+
+// ------------------------------------------------- kill-recovery --
+
+/// The acceptance oracle: a child streams a seeded schedule through a
+/// synced WAL and is SIGKILLed at an arbitrary point; recovery must
+/// yield counts bit-identical to (a) an uninterrupted StreamingEngine
+/// fed the same durable prefix and (b) reference::CountMotifsExact on
+/// the recovered graph.
+void RunKillRecoveryTrial(uint64_t seed) {
+  const std::string path =
+      TempWalPath("kill_" + std::to_string(seed));
+  RemoveWalFiles(path);
+  const auto schedule = TestSchedule(seed, 400);
+
+  int ack_pipe[2];
+  ASSERT_EQ(::pipe(ack_pipe), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: stream the schedule, acking each durable update with one
+    // byte. No gtest machinery in here — _exit only.
+    ::close(ack_pipe[0]);
+    WalOptions options;
+    options.path = path;
+    options.checkpoint_interval = 16;
+    options.sync_every_record = true;
+    auto engine = PersistentStreamingEngine::Open(options);
+    if (!engine.ok()) _exit(2);
+    std::vector<EdgeId> live;
+    for (const testing::DynamicOp& op : schedule) {
+      bool ok = true;
+      if (op.kind == testing::DynamicOp::Kind::kAdd) {
+        auto added = engine.value()->AddEdge(
+            std::span<const NodeId>(op.nodes.data(), op.nodes.size()));
+        ok = added.ok();
+        if (ok) live.push_back(added.value());
+      } else if (op.kind == testing::DynamicOp::Kind::kRemove) {
+        if (op.remove_index >= live.size()) _exit(3);
+        const EdgeId id = live[op.remove_index];
+        ok = engine.value()->RemoveEdge(id).ok();
+        if (ok) live.erase(live.begin() +
+                           static_cast<ptrdiff_t>(op.remove_index));
+      } else {
+        continue;
+      }
+      if (!ok) _exit(4);
+      const char ack = 1;
+      if (::write(ack_pipe[1], &ack, 1) != 1) _exit(5);
+    }
+    _exit(0);
+  }
+
+  // Parent: pick a seeded kill point, count acks up to it, then kill.
+  ::close(ack_pipe[1]);
+  Rng rng(seed ^ 0xdeadbeef);
+  const uint64_t kill_after = 1 + rng.UniformInt(300);
+  uint64_t acked = 0;
+  char byte = 0;
+  while (acked < kill_after) {
+    const ssize_t n = ::read(ack_pipe[0], &byte, 1);
+    if (n <= 0) break;  // child finished (or died) before the kill point
+    ++acked;
+  }
+  ::kill(child, SIGKILL);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  // Drain any acks that raced the kill: they are durable too.
+  while (::read(ack_pipe[0], &byte, 1) > 0) ++acked;
+  ::close(ack_pipe[0]);
+
+  WalOptions options;
+  options.path = path;
+  options.checkpoint_interval = 16;
+  auto recovered = PersistentStreamingEngine::Open(options);
+  ASSERT_TRUE(recovered.ok())
+      << "seed " << seed << ": " << recovered.status().ToString();
+  const uint64_t durable = recovered.value()->records();
+  // Every acked update was fsync'd before the ack, so recovery has at
+  // least those; it may have more (the record that was mid-ack).
+  EXPECT_GE(durable, acked) << "seed " << seed;
+  EXPECT_LE(durable, acked + 1) << "seed " << seed;
+
+  // Oracle (a): the uninterrupted run over the durable prefix.
+  StreamingEngine uninterrupted;
+  std::vector<EdgeId> live;
+  ASSERT_EQ(ApplySchedulePrefix(uninterrupted, schedule, durable, &live),
+            durable)
+      << "seed " << seed;
+  ExpectBitIdentical(recovered.value()->counts(), uninterrupted.counts(),
+                     "seed " + std::to_string(seed) + " vs uninterrupted");
+
+  // Oracle (b): a reference recount of the recovered graph.
+  const Hypergraph snapshot =
+      recovered.value()->engine().graph().Snapshot().value();
+  ExpectBitIdentical(recovered.value()->counts(), OracleCounts(snapshot),
+                     "seed " + std::to_string(seed) + " vs reference");
+  RemoveWalFiles(path);
+}
+
+TEST(KillRecoveryTest, RecoversBitIdenticalAfterSigkillSeed31) {
+  RunKillRecoveryTrial(31);
+}
+TEST(KillRecoveryTest, RecoversBitIdenticalAfterSigkillSeed32) {
+  RunKillRecoveryTrial(32);
+}
+TEST(KillRecoveryTest, RecoversBitIdenticalAfterSigkillSeed33) {
+  RunKillRecoveryTrial(33);
+}
+
+}  // namespace
+}  // namespace mochy

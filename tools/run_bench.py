@@ -201,6 +201,16 @@ def main() -> int:
                   f"cache hit rate {serving['hit_rate'] * 100:.0f}%, "
                   f"latency p50 {serving['p50_us']:.0f}us / "
                   f"p99 {serving['p99_us']:.0f}us")
+        faults = graph.get("serving_faults")
+        if faults:
+            print(f"{graph['name']}: socket serving with "
+                  f"{faults['fault_rate'] * 100:.0f}% injected frame faults: "
+                  f"{faults['clean_qps']:.0f} -> {faults['faulty_qps']:.0f} "
+                  f"queries/s, p99 {faults['clean_p99_us']:.0f}us -> "
+                  f"{faults['faulty_p99_us']:.0f}us "
+                  f"({faults['faults_fired']} faults fired, "
+                  f"{faults['connections_dropped']} connections dropped, "
+                  f"answers bit-identical)")
 
     if args.baseline:
         baseline = json.loads(pathlib.Path(args.baseline).read_text())
