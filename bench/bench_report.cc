@@ -36,6 +36,8 @@
 #include "motif/mochy_a.h"
 #include "motif/mochy_aplus.h"
 #include "motif/mochy_e.h"
+#include "motif/mochy_weighted.h"
+#include "motif/per_edge.h"
 #include "motif/reference.h"
 #include "motif/streaming.h"
 #include "serve/client.h"
@@ -274,6 +276,84 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
                          "reference kernel\n",
                  name.c_str());
     std::exit(1);
+  }
+
+  // Weighted estimator (MoCHy-A+W) through the engine facade, verified
+  // bit-identical to the projection-free kernel it promotes.
+  {
+    EngineOptions weighted_options;
+    weighted_options.algorithm = Algorithm::kWeighted;
+    weighted_options.num_samples = aplus.num_samples;
+    weighted_options.seed = 1;
+    const MotifEngine weighted_engine =
+        MotifEngine::Create(graph, weighted_options).value();
+    MotifCounts weighted_counts;
+    add_sampler("mochy-w/engine", aplus.num_samples, &weighted_counts, [&] {
+      return weighted_engine.Count(weighted_options).value().counts;
+    });
+    MochyWeightedOptions kernel_options;
+    kernel_options.num_samples = aplus.num_samples;
+    kernel_options.seed = 1;
+    const MotifCounts weighted_kernel =
+        CountMotifsWeightedWedge(graph, kernel_options).value().counts;
+    if (!BitIdentical(weighted_counts, weighted_kernel)) {
+      std::fprintf(stderr, "FATAL: %s: engine MoCHy-A+W diverges from the "
+                           "projection-free kernel\n",
+                   name.c_str());
+      std::exit(1);
+    }
+  }
+
+  // Per-edge strategy (the Table-4 HM26 rows) through the engine
+  // facade. Two in-run oracles: bit-identity against the free-function
+  // kernel, and every motif's column summing to exactly 3x the global
+  // exact count (each instance credits its three member rows).
+  {
+    EngineOptions pe_options;
+    pe_options.projection = ProjectionPolicy::kMaterialized;
+    pe_options.num_threads = config.threads;
+    const MotifEngine pe_engine =
+        MotifEngine::Create(graph, pe_options).value();
+    KernelRow row;
+    row.kernel = "per_edge/engine";
+    row.threads = config.threads;
+    PerEdgeCounts engine_rows;
+    for (int rep = 0; rep < std::max(config.repeat, 1); ++rep) {
+      Timer timer;
+      auto result = pe_engine.CountPerEdge(pe_options);
+      const double wall = timer.Seconds();
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: %s: engine per-edge failed: %s\n",
+                     name.c_str(), result.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (rep == 0) {
+        engine_rows = std::move(result.value().rows);
+        row.wall_s = wall;
+      } else {
+        row.wall_s = std::min(row.wall_s, wall);
+      }
+    }
+    row.hubs_per_s = row.wall_s > 0.0 ? m / row.wall_s : 0.0;
+    report.kernels.push_back(row);
+    const PerEdgeCounts oracle_rows =
+        ComputePerEdgeMotifCounts(graph, projection);
+    if (engine_rows != oracle_rows) {
+      std::fprintf(stderr, "FATAL: %s: engine per-edge rows diverge from "
+                           "the free-function kernel\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    for (int t = 1; t <= kNumHMotifs; ++t) {
+      double column = 0.0;
+      for (const auto& edge_row : engine_rows) column += edge_row[t - 1];
+      if (column != 3.0 * exact_stamped[t]) {
+        std::fprintf(stderr, "FATAL: %s: per-edge column for motif %d sums "
+                             "to %g, want 3x the exact count %g\n",
+                     name.c_str(), t, column, exact_stamped[t]);
+        std::exit(1);
+      }
+    }
   }
 
   // Streaming scenario: replay the graph's own edges as an arrival

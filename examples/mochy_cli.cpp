@@ -10,7 +10,8 @@
 //                                                 h-motif counts/estimates
 //                                                 via the MotifEngine;
 //                                                 A = exact|edge-sample|
-//                                                     link-sample|auto;
+//                                                     link-sample|weighted|
+//                                                     auto;
 //                                                 --projection lazy samples
 //                                                 without materializing the
 //                                                 projected graph, keeping
@@ -33,6 +34,23 @@
 //                                                 MoCHy-A+ with R·|∧| wedge
 //                                                 samples per graph
 //   mochy_cli enumerate <file> [--limit N]        list instances
+//   mochy_cli per-edge <file> [--threads N]       exact per-edge motif
+//                                                 participation rows
+//                                                 (engine CountPerEdge);
+//                                                 one "row <e> <26 counts>"
+//                                                 line per hyperedge,
+//                                                 hex-float encoded —
+//                                                 byte-identical to a served
+//                                                 per-edge query body
+//   mochy_cli predict <history> <candidates> [--replace F] [--seed S]
+//                                            [--threads N]
+//                                                 Table-4 hyperedge
+//                                                 prediction: fabricate one
+//                                                 fake per candidate, train
+//                                                 the five reference
+//                                                 classifiers on HM26/HM7/HC
+//                                                 features; byte-identical
+//                                                 to a served predict body
 //   mochy_cli generate <domain> <file> [--scale X] [--seed S]
 //                                                 write a synthetic dataset
 //   mochy_cli stream  <trace> [--window W | --window sliding:W]
@@ -81,6 +99,12 @@
 //                                                                   flags]
 //                                                   similarity <name1> <name2>
 //                                                              [profile flags]
+//                                                   per-edge <name>
+//                                                            [--threads N]
+//                                                   predict <hist> <cands>
+//                                                           [--replace F]
+//                                                           [--seed S]
+//                                                           [--threads N]
 //                                                   load <name> <file>
 //                                                   stats
 //                                                   shutdown
@@ -115,6 +139,7 @@
 #include "profile/significance.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
+#include "serve/render.h"
 #include "serve/server.h"
 
 namespace {
@@ -135,6 +160,7 @@ struct Flags {
   NullModel null_model = NullModel::kChungLu;
   size_t limit = 50;
   double scale = 0.25;
+  double replace = 0.5;  // predict: fake-fabrication member replacement
   uint64_t window = 1;
   uint64_t horizon = 0;  // 0: window width (see ReplayOptions::horizon)
   WindowMode mode = WindowMode::kCumulative;
@@ -220,6 +246,14 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
                      value);
         return false;
       }
+    } else if (key == "--replace") {
+      auto parsed = ParsePositiveDouble(value, "--replace");
+      if (!parsed.ok()) return BadFlag(key, parsed.status());
+      if (parsed.value() > 1.0) {
+        std::fprintf(stderr, "--replace must be in (0, 1], got %s\n", value);
+        return false;
+      }
+      flags->replace = parsed.value();
     } else if (key == "--limit") {
       auto parsed = ParseUint64(value);
       if (!parsed.ok()) return BadFlag(key, parsed.status());
@@ -308,8 +342,10 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mochy_cli <stats|count|sample|profile|enumerate> "
-               "<file> [flags]\n"
+               "usage: mochy_cli <stats|count|sample|profile|enumerate|"
+               "per-edge> <file> [flags]\n"
+               "       mochy_cli predict <history-file> <candidates-file> "
+               "[--replace F] [--seed S] [--threads N]\n"
                "       mochy_cli generate <coauth|contact|email|tags|threads>"
                " <file> [flags]\n"
                "       mochy_cli stream <trace-file> [flags]\n"
@@ -318,10 +354,11 @@ int Usage() {
                "[--cache-budget B] [--load NAME=FILE ...] "
                "[--max-connections N] [--io-timeout MS]\n"
                "       mochy_cli query "
-               "<count|profile|similarity|load|stats|shutdown> [args] "
+               "<count|profile|similarity|per-edge|predict|load|stats|"
+               "shutdown> [args] "
                "--socket PATH | --port N "
                "[--connect-timeout MS] [--io-timeout MS] [--retries N]\n"
-               "flags: --algorithm exact|edge-sample|link-sample|auto "
+               "flags: --algorithm exact|edge-sample|link-sample|weighted|auto "
                "--ratio R --samples N --seed S --threads N (0 = all cores)\n"
                "       count/sample: --projection materialized|lazy|auto "
                "--memory-budget BYTES[K|M|G] (memory-bounded sampling)\n"
@@ -425,6 +462,52 @@ int RunEnumerate(const Hypergraph& graph, const Flags& flags) {
                                    inst.j, inst.k, inst.motif);
                      });
   std::printf("(printed %zu instances; --limit to change)\n", printed);
+  return 0;
+}
+
+int RunPerEdge(const Hypergraph& graph, const Flags& flags) {
+  EngineOptions options;
+  options.num_threads = flags.threads;
+  options.projection = ProjectionPolicy::kMaterialized;
+  auto engine = MotifEngine::Create(graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 2;
+  }
+  auto result = engine.value().CountPerEdge(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  // The renderer is shared with the server, so this output is
+  // byte-identical to a served per-edge body (CI diffs them).
+  std::printf("%s", RenderPerEdgeBody(result.value().rows).c_str());
+  return 0;
+}
+
+int RunPredict(const char* history_path, const char* candidates_path,
+               const Flags& flags) {
+  auto history = LoadHypergraph(history_path);
+  if (!history.ok()) {
+    std::fprintf(stderr, "%s\n", history.status().ToString().c_str());
+    return 2;
+  }
+  auto candidates = LoadHypergraph(candidates_path);
+  if (!candidates.ok()) {
+    std::fprintf(stderr, "%s\n", candidates.status().ToString().c_str());
+    return 2;
+  }
+  PredictRequestOptions options;
+  options.replace_fraction = flags.replace;
+  options.seed = flags.seed;
+  options.num_threads = flags.threads;
+  auto body =
+      RenderPredictBody(history.value(), candidates.value(), options);
+  if (!body.ok()) {
+    std::fprintf(stderr, "%s\n", body.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", body.value().c_str());
   return 0;
 }
 
@@ -647,7 +730,21 @@ std::string BuildQueryRequest(const std::string& action, char** argv,
     return std::string("load ") + argv[3] + " " + argv[4];
   }
   std::string request = action + " " + argv[3];
-  if (action == "similarity") request += std::string(" ") + argv[4];
+  if (action == "similarity" || action == "predict") {
+    request += std::string(" ") + argv[4];
+  }
+  if (action == "per-edge") {
+    request += " threads=" + std::to_string(flags.threads);
+    return request;
+  }
+  if (action == "predict") {
+    // replace travels as an exact hex-float literal, like count's ratio,
+    // so the server canonicalizes the identical double into its cache key.
+    request += " replace=" + EncodeDouble(flags.replace);
+    request += " seed=" + std::to_string(flags.seed);
+    request += " threads=" + std::to_string(flags.threads);
+    return request;
+  }
   if (action == "count") {
     request += std::string(" algorithm=") + AlgorithmName(flags.algorithm);
     if (flags.samples > 0) request += " samples=" + std::to_string(flags.samples);
@@ -734,6 +831,17 @@ int PrintQueryResponse(const std::string& payload) {
     std::printf("cached: %s\n", cached);
     return 0;
   }
+  if (kind == "per-edge" || kind == "predict") {
+    // The body is already the offline command's exact output (shared
+    // renderer, serve/render.h); print it verbatim so CI can diff the
+    // two byte-for-byte, then append the cache marker.
+    for (size_t i = 1; i < lines.size(); ++i) {
+      std::printf("%.*s\n", static_cast<int>(lines[i].size()),
+                  lines[i].data());
+    }
+    std::printf("cached: %s\n", cached);
+    return 0;
+  }
   if (kind == "similarity") {
     auto pearson = DecodeDouble(body_value("pearson"));
     if (!pearson.ok()) {
@@ -754,9 +862,10 @@ int RunQuery(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string action = argv[2];
   int positionals;
-  if (action == "count" || action == "profile") {
+  if (action == "count" || action == "profile" || action == "per-edge") {
     positionals = 1;
-  } else if (action == "similarity" || action == "load") {
+  } else if (action == "similarity" || action == "load" ||
+             action == "predict") {
     positionals = 2;
   } else if (action == "stats" || action == "shutdown") {
     positionals = 0;
@@ -818,6 +927,10 @@ int main(int argc, char** argv) {
     if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
     return RunStream(argv[2], flags);
   }
+  if (command == "predict") {
+    if (argc < 4 || !ParseFlags(argc, argv, 4, &flags)) return Usage();
+    return RunPredict(argv[2], argv[3], flags);
+  }
   // `sample` only changes the default algorithm; an explicit --algorithm
   // flag still wins.
   if (command == "sample") flags.algorithm = Algorithm::kLinkSample;
@@ -833,5 +946,6 @@ int main(int argc, char** argv) {
   }
   if (command == "profile") return RunProfile(graph.value(), flags);
   if (command == "enumerate") return RunEnumerate(graph.value(), flags);
+  if (command == "per-edge") return RunPerEdge(graph.value(), flags);
   return Usage();
 }

@@ -7,9 +7,45 @@
 #include "gen/perturb.h"
 #include "hypergraph/builder.h"
 #include "hypergraph/projection.h"
-#include "motif/per_edge.h"
+#include "motif/batch.h"
 
 namespace mochy {
+
+namespace {
+
+// Sub-hypergraph that decides a candidate's HM26 row: every instance
+// containing hyperedge e has its other two member edges within two hops
+// of e in the projection (either both overlap e, or one overlaps e and
+// the other overlaps it), and classification reads only the member node
+// sets, which the sub-hypergraph preserves verbatim. So the candidate's
+// per-edge row over {e} ∪ N(e) ∪ N(N(e)) is bit-identical to its row in
+// the full combined graph. The candidate is emitted first, so its id in
+// the subgraph is always 0.
+Result<Hypergraph> MakeCandidateNeighborhood(const Hypergraph& combined,
+                                             const ProjectedGraph& projection,
+                                             EdgeId candidate) {
+  std::vector<EdgeId> closure;
+  for (const auto& near : projection.neighbors(candidate)) {
+    closure.push_back(near.edge);
+    for (const auto& far : projection.neighbors(near.edge)) {
+      closure.push_back(far.edge);
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  closure.erase(std::unique(closure.begin(), closure.end()), closure.end());
+  closure.erase(std::remove(closure.begin(), closure.end(), candidate),
+                closure.end());
+
+  HypergraphBuilder builder;
+  builder.AddEdge(combined.edge(candidate));
+  for (EdgeId e : closure) builder.AddEdge(combined.edge(e));
+  BuildOptions build;
+  build.dedup_edges = false;  // duplicate hyperedges are distinct instances
+  build.num_nodes = combined.num_nodes();
+  return std::move(builder).Build(build);
+}
+
+}  // namespace
 
 std::vector<std::vector<double>> ComputeHandcraftedFeatures(
     const Hypergraph& graph) {
@@ -94,24 +130,45 @@ Result<PredictionTask> BuildHyperedgePredictionTask(
 
   auto projection = ProjectedGraph::Build(combined, options.num_threads);
   if (!projection.ok()) return projection.status();
-  const auto motif_rows = ComputePerEdgeMotifCounts(combined,
-                                                    projection.value());
   const auto hc_rows = ComputeHandcraftedFeatures(combined);
 
+  // HM26 rows through the engine facade: one batch item per candidate
+  // neighborhood (real and fake alike). Each item generates the
+  // candidate's 2-hop sub-hypergraph on a batch worker and reports the
+  // candidate's per-edge row via MotifEngine::CountPerEdge — bit-identical
+  // to the row a full-graph ComputePerEdgeMotifCounts pass would produce
+  // (see MakeCandidateNeighborhood), with per-item status isolation.
   const size_t base = history.num_edges();
   const size_t num_candidates = candidates.size();
+  BatchOptions batch_options;
+  batch_options.num_threads = options.num_threads;
+  BatchRunner runner(batch_options);
+  const ProjectedGraph& combined_projection = projection.value();
+  for (size_t i = 0; i < 2 * num_candidates; ++i) {
+    const EdgeId candidate = static_cast<EdgeId>(base + i);
+    runner.AddGeneratedPerEdgeRow(
+        [&combined, &combined_projection, candidate] {
+          return MakeCandidateNeighborhood(combined, combined_projection,
+                                           candidate);
+        },
+        /*target_edge=*/0, EngineOptions{},
+        "candidate-" + std::to_string(i));
+  }
+  const BatchResult batch = runner.Run();
+  if (Status status = batch.first_error(); !status.ok()) return status;
+
   PredictionTask task;
-  auto append = [&](size_t combined_edge, int label) {
-    const auto& motifs = motif_rows[combined_edge];
-    task.hm26.features.emplace_back(motifs.begin(), motifs.end());
+  auto append = [&](size_t item, int label) {
+    const MotifCounts& row = batch.items[item].counts;
+    std::vector<double> motifs(kNumHMotifs);
+    for (int t = 1; t <= kNumHMotifs; ++t) motifs[t - 1] = row[t];
+    task.hm26.features.push_back(std::move(motifs));
     task.hm26.labels.push_back(label);
-    task.hc.features.push_back(hc_rows[combined_edge]);
+    task.hc.features.push_back(hc_rows[base + item]);
     task.hc.labels.push_back(label);
   };
-  for (size_t i = 0; i < num_candidates; ++i) append(base + i, 1);
-  for (size_t i = 0; i < num_candidates; ++i) {
-    append(base + num_candidates + i, 0);
-  }
+  for (size_t i = 0; i < num_candidates; ++i) append(i, 1);
+  for (size_t i = 0; i < num_candidates; ++i) append(num_candidates + i, 0);
 
   // HM7: the seven highest-variance HM26 features.
   std::array<double, kNumHMotifs> mean{}, var{};

@@ -24,7 +24,9 @@ struct PredictionTaskOptions {
   /// Fraction of members replaced when fabricating fake edges.
   double replace_fraction = 0.5;
   uint64_t seed = 1;
-  size_t num_threads = 1;
+  /// Worker budget for projection + batched per-candidate counting;
+  /// 0 means all cores (DefaultThreadCount()).
+  size_t num_threads = 0;
 };
 
 /// One candidate classification task: the same rows/labels expressed under

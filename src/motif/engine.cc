@@ -7,9 +7,11 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "motif/enumerate.h"
 #include "motif/mochy_a.h"
 #include "motif/mochy_aplus.h"
 #include "motif/mochy_e.h"
+#include "motif/mochy_weighted.h"
 #include "motif/variance.h"
 
 namespace mochy {
@@ -57,6 +59,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "edge-sample";
     case Algorithm::kLinkSample:
       return "link-sample";
+    case Algorithm::kWeighted:
+      return "weighted";
     case Algorithm::kAuto:
       return "auto";
   }
@@ -69,9 +73,11 @@ Result<Algorithm> ParseAlgorithm(std::string_view name) {
   if (name == "link-sample" || name == "mochy-a+") {
     return Algorithm::kLinkSample;
   }
+  if (name == "weighted" || name == "mochy-a+w") return Algorithm::kWeighted;
   if (name == "auto") return Algorithm::kAuto;
-  return Status::InvalidArgument("unknown algorithm '" + std::string(name) +
-                                 "' (want exact|edge-sample|link-sample|auto)");
+  return Status::InvalidArgument(
+      "unknown algorithm '" + std::string(name) +
+      "' (want exact|edge-sample|link-sample|weighted|auto)");
 }
 
 const char* ProjectionPolicyName(ProjectionPolicy policy) {
@@ -282,7 +288,11 @@ EngineOptions MotifEngine::Canonicalize(const EngineOptions& options) const {
                                     : num_wedges();
     canonical.num_samples = ResolveSamples(options, population);
     canonical.seed = options.seed;
-    canonical.estimate_variance = options.estimate_variance;
+    // kWeighted has no closed-form variance (Count() rejects the flag),
+    // so the canonical form pins it to the only value Count() accepts.
+    canonical.estimate_variance = canonical.algorithm == Algorithm::kWeighted
+                                      ? false
+                                      : options.estimate_variance;
   }
   return canonical;
 }
@@ -322,6 +332,11 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
     return Status::InvalidArgument(
         "estimate_variance enumerates all instances over the materialized "
         "projection; not available on a lazy engine");
+  }
+  if (algorithm == Algorithm::kWeighted && options.estimate_variance) {
+    return Status::InvalidArgument(
+        "estimate_variance covers the MoCHy-A/A+ closed forms (Theorems 2 "
+        "and 4); the weighted estimator has none — drop the flag");
   }
   const size_t num_threads =
       options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
@@ -373,6 +388,24 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
       result.stats.samples_used = sampler.num_samples;
       break;
     }
+    case Algorithm::kWeighted: {
+      // Projection-free (runs on lazy engines too) and single-threaded
+      // by design; thread-count invariance is trivial, so stats report
+      // the one worker that actually ran.
+      MochyWeightedOptions sampler;
+      sampler.num_samples = ResolveSamples(options, num_wedges());
+      sampler.seed = options.seed;
+      result.stats.num_threads = 1;
+      result.stats.samples_used = sampler.num_samples;
+      if (num_wedges() > 0) {
+        auto weighted = CountMotifsWeightedWedge(*graph_, sampler);
+        if (!weighted.ok()) return weighted.status();
+        result.counts = weighted.value().counts;
+      }
+      // No hyperwedges means no instances: the zero vector is exact, the
+      // same answer every other strategy returns on such inputs.
+      break;
+    }
     case Algorithm::kAuto:
       return Status::Internal("kAuto survived ResolveAuto");
   }
@@ -398,6 +431,54 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
         terms, algorithm, result.stats.samples_used, graph_->num_edges(),
         projection_.num_wedges());
   }
+  return result;
+}
+
+Result<PerEdgeResult> MotifEngine::CountPerEdge(
+    const EngineOptions& options) const {
+  if (!materialized_) {
+    return Status::InvalidArgument(
+        "per-edge counts enumerate all instances over the materialized "
+        "projection, but this engine was created with "
+        "ProjectionPolicy::kLazy; recreate it with kMaterialized (or kAuto)");
+  }
+  const size_t num_threads =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
+
+  PerEdgeResult result;
+  result.stats.algorithm = Algorithm::kExact;
+  result.stats.num_threads = num_threads;
+  result.stats.num_wedges = num_wedges();
+  result.stats.relative_variance = 0.0;
+  result.stats.projection_policy = ProjectionPolicy::kMaterialized;
+
+  Timer timer;
+  const size_t num_edges = graph_->num_edges();
+  // One row block per enumeration thread; each instance credits its
+  // three member edges. The increments are integers (exactly
+  // representable in doubles), so the merge below is bit-identical in
+  // any order and at any thread count.
+  std::vector<PerEdgeCounts> partial(
+      num_threads, PerEdgeCounts(num_edges, std::array<double, kNumHMotifs>{}));
+  EnumerateInstancesParallel(
+      *graph_, projection_, num_threads,
+      [&partial](size_t thread, const MotifInstance& instance) {
+        PerEdgeCounts& rows = partial[thread];
+        rows[instance.i][instance.motif - 1] += 1.0;
+        rows[instance.j][instance.motif - 1] += 1.0;
+        rows[instance.k][instance.motif - 1] += 1.0;
+      });
+  result.rows = std::move(partial[0]);
+  for (size_t t = 1; t < num_threads; ++t) {
+    for (size_t e = 0; e < num_edges; ++e) {
+      for (int m = 0; m < kNumHMotifs; ++m) {
+        result.rows[e][m] += partial[t][e][m];
+      }
+    }
+  }
+  result.stats.elapsed_seconds = timer.Seconds();
+  result.stats.projection_bytes = materialized_bytes_;
+  result.stats.projection_peak_bytes = materialized_bytes_;
   return result;
 }
 

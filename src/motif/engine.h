@@ -3,10 +3,14 @@
 ///
 /// The paper ships three counting algorithms — MoCHy-E (exact,
 /// Algorithm 2), MoCHy-A (hyperedge sampling, Algorithm 4) and MoCHy-A+
-/// (hyperwedge sampling, Algorithm 5). The engine wraps all of them
-/// behind one strategy selector so callers (CLI, examples, experiment
-/// drivers, services) choose an algorithm with an option instead of a
-/// code path, and get uniform run statistics back.
+/// (hyperwedge sampling, Algorithm 5) — and this repo adds MoCHy-A+W
+/// (projection-free weighted hyperwedge sampling, motif/mochy_weighted.h).
+/// The engine wraps all of them behind one strategy selector so callers
+/// (CLI, examples, experiment drivers, services) choose an algorithm with
+/// an option instead of a code path, and get uniform run statistics back.
+/// Besides the 26 global counts, the engine exposes a second result mode:
+/// CountPerEdge() returns the exact per-hyperedge participation rows
+/// (Table 4's HM26 features) from the same enumeration kernels.
 ///
 /// \par Engine lifecycle
 /// For a single graph, the projection structure is set up once — at
@@ -44,10 +48,12 @@
 #ifndef MOCHY_MOTIF_ENGINE_H_
 #define MOCHY_MOTIF_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "hypergraph/hypergraph.h"
@@ -62,15 +68,16 @@ enum class Algorithm {
   kExact,       ///< MoCHy-E: exact counts
   kEdgeSample,  ///< MoCHy-A: hyperedge sampling (unbiased estimates)
   kLinkSample,  ///< MoCHy-A+: hyperwedge sampling (lower variance than A)
+  kWeighted,    ///< MoCHy-A+W: projection-free weighted hyperwedge sampling
   kAuto,        ///< exact on small inputs, MoCHy-A+ beyond a cost budget
 };
 
 /// Short stable name used in flags and reports: "exact", "edge-sample",
-/// "link-sample", "auto".
+/// "link-sample", "weighted", "auto".
 const char* AlgorithmName(Algorithm algorithm);
 
 /// Inverse of AlgorithmName; also accepts the paper aliases "mochy-e",
-/// "mochy-a", "mochy-a+". Errors on anything else.
+/// "mochy-a", "mochy-a+", "mochy-a+w". Errors on anything else.
 Result<Algorithm> ParseAlgorithm(std::string_view name);
 
 /// How the engine provides hyperedge neighborhoods to the counting
@@ -212,6 +219,23 @@ struct EngineResult {
   EngineStats stats;
 };
 
+/// Per-hyperedge participation counts: rows[e][t-1] = number of
+/// h-motif-t instances containing hyperedge e. These are the HM26
+/// feature rows of the paper's Table-4 hyperedge-prediction task.
+using PerEdgeCounts = std::vector<std::array<double, kNumHMotifs>>;
+
+/// Per-edge rows plus the statistics of the enumeration that produced
+/// them.
+struct PerEdgeResult {
+  /// rows[e][t-1] = instances of motif t containing hyperedge e. Every
+  /// instance credits its three member edges, so each column sums to
+  /// exactly 3x the global count of that motif.
+  PerEdgeCounts rows;
+  /// Uniform run statistics (algorithm is always kExact: the rows come
+  /// from the exact enumeration).
+  EngineStats stats;
+};
+
 /// Facade over the MoCHy counting stack: owns the projected graph of one
 /// hypergraph and executes any strategy against it. For counting many
 /// graphs in one call, see BatchRunner in motif/batch.h.
@@ -256,6 +280,16 @@ class MotifEngine {
   /// are fine — the engine state is read-only except the lazy memo, which
   /// is internally synchronized (and never affects counts, only stats).
   Result<EngineResult> Count(const EngineOptions& options = {}) const;
+
+  /// The per-edge result mode: exact per-hyperedge participation rows
+  /// from one parallel pass over the same stamped-arena enumeration the
+  /// exact counter runs on (motif/enumerate.h). Only
+  /// `options.num_threads` is read — the rows are exact, so there is
+  /// nothing to sample or seed — and results are bit-identical at every
+  /// thread count (rows accumulate integers; merge order cannot change
+  /// the sums). Requires a materialized projection: rejected with
+  /// InvalidArgument on a lazy engine. Thread-safe like Count().
+  Result<PerEdgeResult> CountPerEdge(const EngineOptions& options = {}) const;
 
   /// The wrapped hypergraph.
   const Hypergraph& graph() const { return *graph_; }

@@ -1,0 +1,68 @@
+/// \file
+/// Response-body renderers shared by the offline CLI and the server.
+///
+/// The serving layer's determinism contract (serve/server.h) is
+/// "served == offline, byte for byte". For count and profile queries
+/// that holds because both paths call the same counting functions and
+/// encode with the same EncodeCounts/EncodeDouble helpers. The per-edge
+/// and predict workloads produce larger, multi-line bodies, so the
+/// rendering itself lives here and both `mochy_cli per-edge`/`predict`
+/// and MotifServer's handlers call these functions — byte identity is
+/// by construction, not by parallel maintenance of two formatters.
+///
+/// All numeric payloads are C99 hex-float literals (serve/protocol.h),
+/// so a diff of an offline body against a served (cold or cached) body
+/// is empty exactly when the underlying doubles are bit-identical.
+#ifndef MOCHY_SERVE_RENDER_H_
+#define MOCHY_SERVE_RENDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+#include "motif/engine.h"
+
+namespace mochy {
+
+/// Renders a per-edge result (motif/engine.h CountPerEdge) as
+///   rows <num_edges>
+///   row <edge_id> <26 hex-float counts>
+///   ...
+/// one `row` line per hyperedge in id order. Rows are exact integer
+/// counts and thread-count-invariant, so the body depends only on the
+/// graph content.
+std::string RenderPerEdgeBody(const PerEdgeCounts& rows);
+
+/// Options of a Table-4 prediction request; mirrors
+/// PredictionTaskOptions (ml/features.h) plus nothing else — the
+/// train/test split fraction (0.3) and split seed (17) are fixed so the
+/// body is a pure function of (history, candidates, these options).
+struct PredictRequestOptions {
+  /// Fraction of members replaced when fabricating fake candidates.
+  double replace_fraction = 0.5;
+  /// Seed of the fake-candidate fabrication.
+  uint64_t seed = 1;
+  /// Worker budget; 0 means all cores. Never changes the body
+  /// (feature rows are bit-identical at every thread count and the
+  /// classifiers are seed-deterministic), so cache keys omit it.
+  size_t num_threads = 0;
+};
+
+/// Runs the full Table-4 pipeline — fabricate one fake per candidate,
+/// extract HM26/HM7/HC features over history+candidates+fakes, train
+/// the five reference classifiers on each feature set — and renders
+///   task history=<H> real=<R> fake=<R>
+///   hm7 <7 motif ids>
+///   model <name> <set> acc=<hex> auc=<hex>   (5 names x 3 sets)
+/// Candidates are `candidates`' hyperedges with at least two members
+/// (smaller edges cannot be perturbed into fakes and are skipped).
+/// Deterministic in (history, candidates, options): repeated calls are
+/// byte-identical.
+Result<std::string> RenderPredictBody(const Hypergraph& history,
+                                      const Hypergraph& candidates,
+                                      const PredictRequestOptions& options = {});
+
+}  // namespace mochy
+
+#endif  // MOCHY_SERVE_RENDER_H_

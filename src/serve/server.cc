@@ -20,6 +20,7 @@
 #include "profile/significance.h"
 #include "profile/similarity.h"
 #include "serve/protocol.h"
+#include "serve/render.h"
 
 namespace mochy {
 
@@ -154,12 +155,15 @@ std::string ServerStats::ToString() const {
   std::string out;
   std::snprintf(line, sizeof(line),
                 "server queries=%llu count=%llu profile=%llu "
-                "similarity=%llu errors=%llu overloaded=%llu dropped=%llu "
+                "similarity=%llu per_edge=%llu predict=%llu errors=%llu "
+                "overloaded=%llu dropped=%llu "
                 "active=%zu graphs=%zu\n",
                 static_cast<unsigned long long>(queries),
                 static_cast<unsigned long long>(count_queries),
                 static_cast<unsigned long long>(profile_queries),
                 static_cast<unsigned long long>(similarity_queries),
+                static_cast<unsigned long long>(per_edge_queries),
+                static_cast<unsigned long long>(predict_queries),
                 static_cast<unsigned long long>(errors),
                 static_cast<unsigned long long>(overload_rejections),
                 static_cast<unsigned long long>(dropped_connections),
@@ -384,6 +388,115 @@ std::string MotifServer::HandleSimilarity(
          "pearson " + EncodeDouble(pearson) + "\n";
 }
 
+std::string MotifServer::HandlePerEdge(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 2) {
+    return ErrorResponse(
+        Status::InvalidArgument("usage: per-edge <name> [threads=N]"));
+  }
+  GraphEntry* entry = FindGraph(std::string(tokens[1]));
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound(
+        "graph '" + std::string(tokens[1]) + "' is not loaded"));
+  }
+  EngineOptions options;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const auto [key, value] = SplitKeyValue(tokens[i]);
+    if (key == "threads") {
+      auto threads = ParseUint64InRange(value, 0, 4096, "threads");
+      if (!threads.ok()) return ErrorResponse(threads.status());
+      options.num_threads = static_cast<size_t>(threads.value());
+    } else {
+      return ErrorResponse(Status::InvalidArgument(
+          "unknown per-edge option '" + std::string(tokens[i]) +
+          "' (only threads=N; per-edge counts are always exact)"));
+    }
+  }
+  // Exact and thread-count-invariant, so the key is the graph alone.
+  const std::string key = "per-edge fp=" + Hex16(entry->fingerprint);
+  bool cached = true;
+  std::optional<std::string> body = cache_.Get(key);
+  if (!body.has_value()) {
+    cached = false;
+    auto result = entry->engine->CountPerEdge(options);
+    if (!result.ok()) return ErrorResponse(result.status());
+    body = RenderPerEdgeBody(result.value().rows);
+    if (body->size() + 256 > kMaxFrameBytes) {
+      return ErrorResponse(Status::OutOfRange(
+          "per-edge body of " + std::to_string(body->size()) +
+          " bytes exceeds the frame cap (" + std::to_string(kMaxFrameBytes) +
+          "); run the offline CLI for graphs this large"));
+    }
+    cache_.Put(key, *body);
+  }
+  return "ok kind=per-edge graph=" + std::string(tokens[1]) +
+         " fingerprint=" + Hex16(entry->fingerprint) +
+         " cached=" + (cached ? "1" : "0") + "\n" + *body;
+}
+
+std::string MotifServer::HandlePredict(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 3) {
+    return ErrorResponse(Status::InvalidArgument(
+        "usage: predict <history> <candidates> [replace=R] [seed=S] "
+        "[threads=N]"));
+  }
+  GraphEntry* history = FindGraph(std::string(tokens[1]));
+  GraphEntry* candidates = FindGraph(std::string(tokens[2]));
+  if (history == nullptr || candidates == nullptr) {
+    return ErrorResponse(Status::NotFound(
+        "graph '" +
+        std::string(history == nullptr ? tokens[1] : tokens[2]) +
+        "' is not loaded"));
+  }
+  PredictRequestOptions options;
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    const auto [key, value] = SplitKeyValue(tokens[i]);
+    if (key == "replace") {
+      auto replace = ParseDouble(value);
+      if (!replace.ok()) return ErrorResponse(replace.status());
+      if (!(replace.value() > 0.0 && replace.value() <= 1.0)) {
+        return ErrorResponse(Status::InvalidArgument(
+            "replace must be in (0, 1], got '" + std::string(value) + "'"));
+      }
+      options.replace_fraction = replace.value();
+    } else if (key == "seed") {
+      auto seed = ParseUint64(value);
+      if (!seed.ok()) return ErrorResponse(seed.status());
+      options.seed = seed.value();
+    } else if (key == "threads") {
+      auto threads = ParseUint64InRange(value, 0, 4096, "threads");
+      if (!threads.ok()) return ErrorResponse(threads.status());
+      options.num_threads = static_cast<size_t>(threads.value());
+    } else {
+      return ErrorResponse(Status::InvalidArgument(
+          "unknown predict option '" + std::string(tokens[i]) +
+          "' (want replace=R seed=S threads=N)"));
+    }
+  }
+  // replace goes through EncodeDouble so every spelling of the same
+  // double ("0.5", "0.50", "0x1p-1") canonicalizes to one cache entry;
+  // threads is absent (the body is thread-count-invariant, render.h).
+  const std::string key =
+      "predict fp=" + Hex16(history->fingerprint) + " fp=" +
+      Hex16(candidates->fingerprint) + " replace=" +
+      EncodeDouble(options.replace_fraction) + " seed=" +
+      std::to_string(options.seed);
+  bool cached = true;
+  std::optional<std::string> body = cache_.Get(key);
+  if (!body.has_value()) {
+    cached = false;
+    auto rendered =
+        RenderPredictBody(history->graph, candidates->graph, options);
+    if (!rendered.ok()) return ErrorResponse(rendered.status());
+    body = std::move(rendered).value();
+    cache_.Put(key, *body);
+  }
+  return "ok kind=predict graphs=" + std::string(tokens[1]) + "," +
+         std::string(tokens[2]) +
+         " cached=" + (cached ? "1" : "0") + "\n" + *body;
+}
+
 std::string MotifServer::HandleStats() {
   return "ok kind=stats\n" + stats().ToString();
 }
@@ -402,6 +515,10 @@ std::string MotifServer::HandleRequest(const std::string& request) {
     response = HandleProfile(tokens);
   } else if (command == "similarity") {
     response = HandleSimilarity(tokens);
+  } else if (command == "per-edge") {
+    response = HandlePerEdge(tokens);
+  } else if (command == "predict") {
+    response = HandlePredict(tokens);
   } else if (command == "load") {
     response = HandleLoad(tokens);
   } else if (command == "stats") {
@@ -412,7 +529,8 @@ std::string MotifServer::HandleRequest(const std::string& request) {
   } else {
     response = ErrorResponse(Status::InvalidArgument(
         "unknown command '" + std::string(command) +
-        "' (want load|count|profile|similarity|stats|shutdown)"));
+        "' (want load|count|profile|similarity|per-edge|predict|stats|"
+        "shutdown)"));
   }
 
   {
@@ -421,6 +539,8 @@ std::string MotifServer::HandleRequest(const std::string& request) {
     if (command == "count") ++stats_.count_queries;
     if (command == "profile") ++stats_.profile_queries;
     if (command == "similarity") ++stats_.similarity_queries;
+    if (command == "per-edge") ++stats_.per_edge_queries;
+    if (command == "predict") ++stats_.predict_queries;
     if (response.rfind("error", 0) == 0) ++stats_.errors;
   }
   return response;

@@ -18,6 +18,9 @@
 ///   profile <name> [random=K] [seed=S] [ratio=R] [epsilon=E]
 ///                  [null=chung-lu|perturb] [threads=N]
 ///   similarity <name1> <name2> [profile keys...]   CP Pearson correlation
+///   per-edge <name> [threads=N]              exact per-edge motif rows
+///   predict <history> <candidates> [replace=R] [seed=S] [threads=N]
+///                                            Table-4 prediction pipeline
 ///   stats                                    server + cache counters
 ///   shutdown                                 stop accepting, drain, exit
 /// Responses start "ok ..." or "error code=<Code> <message>"; counts
@@ -91,6 +94,8 @@ struct ServerStats {
   uint64_t count_queries = 0;       ///< `count` requests
   uint64_t profile_queries = 0;     ///< `profile` requests
   uint64_t similarity_queries = 0;  ///< `similarity` requests
+  uint64_t per_edge_queries = 0;    ///< `per-edge` requests
+  uint64_t predict_queries = 0;     ///< `predict` requests
   uint64_t errors = 0;              ///< requests answered with "error ..."
   uint64_t overload_rejections = 0; ///< accepts shed at max_connections
   uint64_t dropped_connections = 0; ///< connections closed on an I/O error
@@ -155,6 +160,8 @@ class MotifServer {
   std::string HandleCount(const std::vector<std::string_view>& tokens);
   std::string HandleProfile(const std::vector<std::string_view>& tokens);
   std::string HandleSimilarity(const std::vector<std::string_view>& tokens);
+  std::string HandlePerEdge(const std::vector<std::string_view>& tokens);
+  std::string HandlePredict(const std::vector<std::string_view>& tokens);
   std::string HandleStats();
   /// The profile body shared by profile and similarity queries (cached;
   /// `cached` reports whether this call was served from the cache).

@@ -6,9 +6,12 @@
 #include <set>
 
 #include "gen/generators.h"
+#include "gen/perturb.h"
 #include "hypergraph/builder.h"
+#include "hypergraph/projection.h"
 #include "ml/logistic.h"
 #include "ml/metrics.h"
+#include "motif/per_edge.h"
 #include "tests/test_util.h"
 
 namespace mochy {
@@ -120,6 +123,72 @@ TEST(FeaturesTest, DeterministicInSeed) {
       BuildHyperedgePredictionTask(f.history, f.candidates, options).value();
   EXPECT_EQ(a.hm26.features, b.hm26.features);
   EXPECT_EQ(a.hc.features, b.hc.features);
+}
+
+TEST(FeaturesTest, BatchedRowsMatchFullGraphPerEdgeOracle) {
+  // The pipeline now computes each candidate's HM26 row from its 2-hop
+  // neighborhood subgraph on a BatchRunner worker. The free-function
+  // kernel over the FULL combined graph is the oracle: reconstruct the
+  // combined hypergraph exactly as BuildHyperedgePredictionTask does
+  // (history, then real candidates, then fakes from the same seeded
+  // perturbation) and demand bit-identical rows.
+  const TaskFixture f = MakeFixture(6);
+  PredictionTaskOptions options;
+  options.seed = 11;
+  const PredictionTask task =
+      BuildHyperedgePredictionTask(f.history, f.candidates, options).value();
+
+  BuildOptions candidate_build;
+  candidate_build.dedup_edges = false;
+  candidate_build.num_nodes = f.history.num_nodes();
+  const Hypergraph candidate_graph =
+      MakeHypergraph(f.candidates, candidate_build).value();
+  PerturbOptions perturb;
+  perturb.replace_fraction = options.replace_fraction;
+  perturb.seed = options.seed;
+  const std::vector<std::vector<NodeId>> fakes =
+      MakeFakeHyperedges(candidate_graph, perturb).value();
+
+  HypergraphBuilder builder;
+  for (EdgeId e = 0; e < f.history.num_edges(); ++e) {
+    builder.AddEdge(f.history.edge(e));
+  }
+  for (const auto& edge : f.candidates) {
+    builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+  }
+  for (const auto& edge : fakes) {
+    builder.AddEdge(std::span<const NodeId>(edge.data(), edge.size()));
+  }
+  const Hypergraph combined =
+      std::move(builder).Build(candidate_build).value();
+  const auto projection = ProjectedGraph::Build(combined, 1).value();
+  const auto oracle_rows = ComputePerEdgeMotifCounts(combined, projection);
+
+  const size_t base = f.history.num_edges();
+  const size_t n = f.candidates.size();
+  ASSERT_EQ(task.hm26.size(), 2 * n);
+  for (size_t i = 0; i < 2 * n; ++i) {
+    for (int t = 0; t < kNumHMotifs; ++t) {
+      EXPECT_EQ(task.hm26.features[i][static_cast<size_t>(t)],
+                oracle_rows[base + i][t])
+          << "candidate " << i << " motif " << t + 1;
+    }
+  }
+}
+
+TEST(FeaturesTest, RowsAreThreadCountInvariant) {
+  const TaskFixture f = MakeFixture(7);
+  PredictionTaskOptions serial;
+  serial.seed = 13;
+  serial.num_threads = 1;
+  PredictionTaskOptions parallel = serial;
+  parallel.num_threads = 4;
+  const PredictionTask a =
+      BuildHyperedgePredictionTask(f.history, f.candidates, serial).value();
+  const PredictionTask b =
+      BuildHyperedgePredictionTask(f.history, f.candidates, parallel).value();
+  EXPECT_EQ(a.hm26.features, b.hm26.features);
+  EXPECT_EQ(a.hm7_feature_indices, b.hm7_feature_indices);
 }
 
 TEST(FeaturesTest, RejectsEmptyCandidates) {

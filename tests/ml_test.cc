@@ -238,6 +238,110 @@ TEST(MlpTest, RejectsBadOptions) {
   EXPECT_FALSE(clf.Fit(MakeBlobs(10, 2, 1.0, 3)).ok());
 }
 
+TEST(MetricsTest, HandCheckedGoldenOnTinyFixture) {
+  // labels {0,0,1,1}, scores {0.2,0.6,0.4,0.8}. Thresholding at 0.5
+  // predicts {0,1,0,1}: the first and last are right, the middle two
+  // wrong -> accuracy exactly 1/2. AUC counts positive-negative pairs:
+  // (0.4,0.2) won, (0.4,0.6) lost, (0.8,0.2) won, (0.8,0.6) won -> 3/4.
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.2, 0.6, 0.4, 0.8};
+  EXPECT_DOUBLE_EQ(Accuracy(labels, scores), 0.5);
+  EXPECT_DOUBLE_EQ(AucScore(labels, scores), 0.75);
+}
+
+TEST(MetricsTest, AgreeWithBruteForceRecountOnRandomInputs) {
+  // Property sweep: on random score vectors (with deliberate ties from
+  // quantization) the library metrics must agree with a from-scratch
+  // recount — accuracy from the raw confusion matrix, AUC from explicit
+  // positive-negative pair comparison with half-credit ties (the
+  // midrank formula is algebraically the same statistic).
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const size_t n = 10 + static_cast<size_t>(rng.UniformInt(40));
+    std::vector<int> labels(n);
+    std::vector<double> scores(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = rng.UniformInt(2) == 0 ? 0 : 1;
+      // Quantize to multiples of 1/8 so ties actually occur.
+      scores[i] = static_cast<double>(rng.UniformInt(9)) / 8.0;
+    }
+    uint64_t tp = 0, tn = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int predicted = scores[i] >= 0.5 ? 1 : 0;
+      if (predicted == 1 && labels[i] == 1) ++tp;
+      if (predicted == 0 && labels[i] == 0) ++tn;
+      if (predicted == 1 && labels[i] == 0) ++fp;
+      if (predicted == 0 && labels[i] == 1) ++fn;
+    }
+    EXPECT_DOUBLE_EQ(Accuracy(labels, scores),
+                     static_cast<double>(tp + tn) /
+                         static_cast<double>(tp + tn + fp + fn))
+        << "seed " << seed;
+
+    double won = 0.0;
+    uint64_t pairs = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (labels[i] != 1) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (labels[j] != 0) continue;
+        ++pairs;
+        if (scores[i] > scores[j]) {
+          won += 1.0;
+        } else if (scores[i] == scores[j]) {
+          won += 0.5;
+        }
+      }
+    }
+    const double expected =
+        pairs == 0 ? 0.5 : won / static_cast<double>(pairs);
+    EXPECT_NEAR(AucScore(labels, scores), expected, 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(AllClassifiersTest, EveryClassifierIsSeedDeterministic) {
+  // Oracle discipline for the Table-4 models: two instances constructed
+  // with the same options and fitted on the same data must score every
+  // test row bit-identically. The seeded models (logistic, tree, forest,
+  // MLP) must not fall back to global RNG state; kNN has no seed at all
+  // and must be deterministic by construction.
+  const Dataset data = MakeBlobs(80, 4, 1.5, 31);
+  Dataset train, test;
+  ASSERT_TRUE(TrainTestSplit(data, 0.3, 13, &train, &test).ok());
+  const auto expect_identical = [&](Classifier& a, Classifier& b,
+                                    const char* name) {
+    ASSERT_TRUE(a.Fit(train).ok()) << name;
+    ASSERT_TRUE(b.Fit(train).ok()) << name;
+    const std::vector<double> sa = a.PredictAll(test);
+    const std::vector<double> sb = b.PredictAll(test);
+    ASSERT_EQ(sa.size(), sb.size()) << name;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sa[i], sb[i]) << name << " row " << i;
+    }
+  };
+  {
+    LogisticRegression a, b;
+    expect_identical(a, b, "logistic");
+  }
+  {
+    DecisionTree a, b;
+    expect_identical(a, b, "tree");
+  }
+  {
+    RandomForest a, b;
+    expect_identical(a, b, "forest");
+  }
+  {
+    KNearestNeighbors a, b;
+    expect_identical(a, b, "knn");
+  }
+  {
+    MlpOptions options;
+    options.epochs = 25;
+    MlpClassifier a(options), b(options);
+    expect_identical(a, b, "mlp");
+  }
+}
+
 class AllClassifiersSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(AllClassifiersSweep, BeatChanceOnNoisyBlobs) {

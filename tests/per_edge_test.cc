@@ -13,6 +13,7 @@
 #include "hypergraph/builder.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/projection.h"
+#include "motif/engine.h"
 #include "motif/per_edge.h"
 #include "motif/reference.h"
 #include "tests/test_util.h"
@@ -121,6 +122,32 @@ TEST(PerEdgeTest, GoldenFigure2Rows) {
   EXPECT_EQ(rows[3][21 - 1], 1.0);
   EXPECT_EQ(rows[3][22 - 1], 1.0);
   EXPECT_EQ(row_total(3), 2.0);
+}
+
+TEST(PerEdgeTest, EnginePathMatchesFreeFunctionAndBruteForce) {
+  // The promoted engine strategy (MotifEngine::CountPerEdge) must agree
+  // bit-exactly with both the free-function kernel it wraps and the
+  // independent brute-force oracle — the free function stays as the
+  // bit-identity reference for the engine path.
+  for (const uint64_t seed : {5u, 61u}) {
+    const Hypergraph graph = testing::RandomHypergraph(
+        /*num_nodes=*/20, /*num_edges=*/30, /*min_size=*/1, /*max_size=*/6,
+        seed);
+    const MotifEngine engine = MotifEngine::Create(graph).value();
+    const PerEdgeResult result = engine.CountPerEdge().value();
+    const PerEdgeRows oracle = ComputeRows(graph);
+    const PerEdgeRows brute = BruteForceRows(graph);
+    ASSERT_EQ(result.rows.size(), graph.num_edges());
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      for (int t = 0; t < kNumHMotifs; ++t) {
+        EXPECT_EQ(result.rows[e][t], oracle[e][t])
+            << "seed " << seed << " edge " << e << " motif " << (t + 1);
+        EXPECT_EQ(result.rows[e][t], brute[e][t])
+            << "seed " << seed << " edge " << e << " motif " << (t + 1);
+      }
+    }
+    EXPECT_EQ(result.stats.algorithm, Algorithm::kExact);
+  }
 }
 
 TEST(PerEdgeTest, EmptyAndTinyGraphs) {

@@ -21,6 +21,7 @@
 #include "motif/engine.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
+#include "serve/render.h"
 #include "serve/server.h"
 #include "tests/test_util.h"
 
@@ -298,6 +299,140 @@ TEST(MotifServerTest, ProfileAndSimilarityShareCachedBodies) {
   EXPECT_NE(warm.find("cached=1"), std::string::npos);
   // Bit-identical pearson line across cold and warm.
   EXPECT_EQ(cold.substr(cold.find('\n')), warm.substr(warm.find('\n')));
+}
+
+TEST(MotifServerTest, PerEdgeColdAndCachedMatchOfflineByteForByte) {
+  // The determinism contract for the new workload: a served per-edge
+  // body — cold or cached — is byte-identical to what the offline path
+  // (engine.CountPerEdge + RenderPerEdgeBody, exactly what `mochy_cli
+  // per-edge` prints) produces for the same graph.
+  const Hypergraph g = TestGraph();
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", g).ok());
+
+  const std::string cold = server.HandleRequest("per-edge g");
+  const std::string warm = server.HandleRequest("per-edge g");
+  ASSERT_EQ(cold.rfind("ok kind=per-edge", 0), 0u) << cold;
+  EXPECT_NE(cold.find("cached=0"), std::string::npos);
+  EXPECT_NE(warm.find("cached=1"), std::string::npos);
+
+  EngineOptions materialized;
+  materialized.projection = ProjectionPolicy::kMaterialized;
+  const MotifEngine engine = MotifEngine::Create(g, materialized).value();
+  const std::string offline =
+      RenderPerEdgeBody(engine.CountPerEdge().value().rows);
+  EXPECT_EQ(cold.substr(cold.find('\n') + 1), offline);
+  EXPECT_EQ(warm.substr(warm.find('\n') + 1), offline);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.per_edge_queries, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(MotifServerTest, PerEdgeCacheKeyIgnoresThreadsButNotContent) {
+  // Per-edge rows are exact and thread-count-invariant, so the thread
+  // knob must canonicalize away; a different graph (even under a name
+  // that merely *sounds* the same) must miss.
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", TestGraph(17)).ok());
+  ASSERT_TRUE(server.LoadGraph("g_copy", TestGraph(17)).ok());
+  ASSERT_TRUE(server.LoadGraph("other", TestGraph(18)).ok());
+  EXPECT_NE(server.HandleRequest("per-edge g threads=1").find("cached=0"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("per-edge g threads=2").find("cached=1"),
+            std::string::npos);
+  // Same content under another name: the fingerprint-keyed entry hits.
+  EXPECT_NE(server.HandleRequest("per-edge g_copy").find("cached=1"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("per-edge other").find("cached=0"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().cache.insertions, 2u);
+}
+
+TEST(MotifServerTest, PredictColdAndCachedMatchOfflineByteForByte) {
+  const Hypergraph history = TestGraph(17);
+  const Hypergraph candidates =
+      testing::RandomHypergraph(30, 12, 2, 5, 23);
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("hist", history).ok());
+  ASSERT_TRUE(server.LoadGraph("cand", candidates).ok());
+
+  const std::string request = "predict hist cand replace=0.5 seed=3";
+  const std::string cold = server.HandleRequest(request);
+  const std::string warm = server.HandleRequest(request);
+  ASSERT_EQ(cold.rfind("ok kind=predict", 0), 0u) << cold;
+  EXPECT_NE(cold.find("cached=0"), std::string::npos);
+  EXPECT_NE(warm.find("cached=1"), std::string::npos);
+
+  // Offline reference: the exact renderer `mochy_cli predict` prints.
+  PredictRequestOptions options;
+  options.replace_fraction = 0.5;
+  options.seed = 3;
+  const std::string offline =
+      RenderPredictBody(history, candidates, options).value();
+  EXPECT_EQ(cold.substr(cold.find('\n') + 1), offline);
+  EXPECT_EQ(warm.substr(warm.find('\n') + 1), offline);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.predict_queries, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(MotifServerTest, PredictCacheKeyCanonicalizesSpellings) {
+  // replace= travels as a double and is keyed via EncodeDouble, so
+  // every spelling of the same value shares one entry; threads is a
+  // scheduling knob and must not split entries. Different seeds (and
+  // different replace fractions) are different fabrications: miss.
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("h", TestGraph(17)).ok());
+  ASSERT_TRUE(server.LoadGraph("c", testing::RandomHypergraph(30, 8, 2, 4, 29))
+                  .ok());
+  EXPECT_NE(server.HandleRequest("predict h c replace=0.5 seed=1")
+                .find("cached=0"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("predict h c replace=0x1p-1 seed=1 threads=2")
+                .find("cached=1"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("predict h c replace=0.50 seed=1")
+                .find("cached=1"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("predict h c replace=0.5 seed=2")
+                .find("cached=0"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("predict h c replace=0.25 seed=1")
+                .find("cached=0"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().cache.insertions, 3u);
+}
+
+TEST(MotifServerTest, PerEdgeAndPredictRejectMalformedRequests) {
+  MotifServer server{ServeOptions{}};
+  ASSERT_TRUE(server.LoadGraph("g", TestGraph(17)).ok());
+  ASSERT_TRUE(server.LoadGraph("c", testing::RandomHypergraph(30, 8, 2, 4, 29))
+                  .ok());
+  EXPECT_EQ(server.HandleRequest("per-edge")
+                .rfind("error code=InvalidArgument", 0), 0u);
+  EXPECT_EQ(server.HandleRequest("per-edge missing")
+                .rfind("error code=NotFound", 0), 0u);
+  // Per-edge counts are always exact: algorithm knobs are rejected, not
+  // silently ignored (a cached entry must never masquerade as the
+  // result of an option it did not honor).
+  EXPECT_EQ(server.HandleRequest("per-edge g algorithm=link-sample")
+                .rfind("error code=InvalidArgument", 0), 0u);
+  EXPECT_EQ(server.HandleRequest("per-edge g threads=junk")
+                .rfind("error code=InvalidArgument", 0), 0u);
+  EXPECT_EQ(server.HandleRequest("predict g")
+                .rfind("error code=InvalidArgument", 0), 0u);
+  EXPECT_EQ(server.HandleRequest("predict g missing")
+                .rfind("error code=NotFound", 0), 0u);
+  EXPECT_EQ(server.HandleRequest("predict g c replace=0")
+                .rfind("error code=InvalidArgument", 0), 0u);
+  EXPECT_EQ(server.HandleRequest("predict g c replace=1.5")
+                .rfind("error code=InvalidArgument", 0), 0u);
+  EXPECT_EQ(server.HandleRequest("predict g c ratio=0.5")
+                .rfind("error code=InvalidArgument", 0), 0u);
+  EXPECT_EQ(server.stats().errors, 9u);
+  EXPECT_EQ(server.stats().cache.insertions, 0u);
 }
 
 TEST(MotifServerTest, ManyConcurrentClientsGetBitIdenticalResponses) {
@@ -712,10 +847,15 @@ TEST(ServerRobustnessTest, ChaosScheduleNeverCrashesOrCorruptsAnAnswer) {
   // bit-identical payloads or typed transport errors — never a torn or
   // wrong answer.
   LiveServer live{ServeOptions{}};
+  ASSERT_TRUE(
+      live.server.LoadGraph("c", testing::RandomHypergraph(30, 8, 2, 4, 29))
+          .ok());
   const std::vector<std::string> requests = {
       "count g algorithm=exact",
       "count g algorithm=link-sample samples=300 seed=7",
       "profile g random=2 seed=3 ratio=0.2",
+      "per-edge g",
+      "predict g c replace=0.5 seed=3",
   };
   // Reference bodies come from the in-process dispatcher — the same
   // code path the socket loop frames.
