@@ -12,6 +12,7 @@
 //
 //   bench_report --out BENCH_pr3.json --scale 1.0 --threads 1 --repeat 3
 //   bench_report --smoke --out BENCH_smoke.json
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -30,6 +32,7 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "gen/generators.h"
+#include "hypergraph/binary_format.h"
 #include "hypergraph/projection.h"
 #include "motif/counts.h"
 #include "motif/engine.h"
@@ -126,6 +129,20 @@ struct GraphReport {
   double mem_lazy_hit_rate = 0.0;       // warm-run memo hit rate
   uint64_t mem_lazy_recomputes = 0;     // warm-run recomputations
   double mem_lazy_wall_ratio = 0.0;     // lazy wall / materialized a+ wall
+  // Out-of-core scenario: the graph round-tripped through the mmap-able
+  // binary container (hypergraph/binary_format.h), then MoCHy-A+ at a
+  // budget of 1/10 the materialized footprint with the spill-to-disk
+  // tier attached; estimates verified bit-identical to the materialized
+  // kernel in-run.
+  uint64_t ooc_file_bytes = 0;          // size of the .mhg container
+  uint64_t ooc_budget_bytes = 0;        // configured memo budget
+  uint64_t ooc_spills = 0;              // records appended to spill logs
+  uint64_t ooc_readmits = 0;            // neighborhoods served from disk
+  uint64_t ooc_fallbacks = 0;           // corrupt/short reads -> recompute
+  double ooc_hit_rate = 0.0;            // disk-tier hit rate:
+                                        // readmits / (readmits + recomputes)
+  double ooc_wall_ratio = 0.0;          // spill wall / materialized a+ wall
+  uint64_t ooc_peak_rss_kb = 0;         // process peak RSS after the run
   // Serving scenario: a deterministic mixed count/profile workload driven
   // through MotifServer::HandleRequest in-process (no sockets, so the
   // numbers measure the serving layer, not the kernel or the transport).
@@ -590,6 +607,89 @@ GraphReport MeasureGraph(const std::string& name, const Hypergraph& graph,
     }
   }
 
+  // Out-of-core scenario: the graph saved as an .mhg container, loaded
+  // back through the binary reader, and counted at a budget of 1/10 the
+  // materialized footprint with the spill tier attached — the full
+  // storage stack (format round trip + disk-backed memo) priced in one
+  // row. Estimates must match the materialized kernel bit-for-bit.
+  {
+    const std::string stem = "mochy_bench_ooc_" + std::to_string(::getpid());
+    const std::string mhg_path =
+        (std::filesystem::temp_directory_path() / (stem + ".mhg")).string();
+    const std::string spill_dir =
+        (std::filesystem::temp_directory_path() / (stem + "_spill")).string();
+    if (Status s = SaveHypergraphBinary(graph, mhg_path); !s.ok()) {
+      std::fprintf(stderr, "FATAL: %s: binary save failed: %s\n",
+                   name.c_str(), s.ToString().c_str());
+      std::exit(1);
+    }
+    std::error_code ec;
+    report.ooc_file_bytes = std::filesystem::file_size(mhg_path, ec);
+    auto from_disk = LoadHypergraphBinary(mhg_path);
+    if (!from_disk.ok()) {
+      std::fprintf(stderr, "FATAL: %s: binary load failed: %s\n",
+                   name.c_str(), from_disk.status().ToString().c_str());
+      std::exit(1);
+    }
+    EngineOptions spill_options;
+    spill_options.algorithm = Algorithm::kLinkSample;
+    spill_options.projection = ProjectionPolicy::kLazy;
+    spill_options.num_samples = aplus.num_samples;
+    spill_options.num_threads = config.threads;
+    spill_options.seed = 1;  // = MochyAPlusOptions default the kernels used
+    spill_options.memory_budget =
+        std::max<uint64_t>(1, report.mem_materialized_bytes / 10);
+    spill_options.spill_dir = spill_dir;
+    report.ooc_budget_bytes = spill_options.memory_budget;
+    {
+      const MotifEngine engine =
+          MotifEngine::Create(from_disk.value(), spill_options).value();
+      MotifCounts spill_counts;
+      EngineStats spill_stats;
+      KernelRow spill_row;
+      spill_row.kernel = "mochy-a+/spill";
+      spill_row.threads = config.threads;
+      spill_row.samples = aplus.num_samples;
+      spill_row.wall_s = MinWall(config.repeat, &spill_counts, [&] {
+        EngineResult counted = engine.Count(spill_options).value();
+        spill_stats = counted.stats;
+        return counted.counts;
+      });
+      spill_row.samples_per_s =
+          spill_row.wall_s > 0.0
+              ? static_cast<double>(aplus.num_samples) / spill_row.wall_s
+              : 0.0;
+      report.kernels.push_back(spill_row);
+      if (!BitIdentical(spill_counts, aplus_stamped)) {
+        std::fprintf(stderr, "FATAL: %s: out-of-core MoCHy-A+ (mmap load + "
+                             "spill tier) diverges from the materialized "
+                             "kernel\n",
+                     name.c_str());
+        std::exit(1);
+      }
+      report.ooc_spills = spill_stats.lazy_spills;
+      report.ooc_readmits = spill_stats.lazy_spill_readmits;
+      report.ooc_fallbacks = spill_stats.lazy_spill_fallbacks;
+      const double disk_touches =
+          static_cast<double>(spill_stats.lazy_spill_readmits) +
+          static_cast<double>(spill_stats.lazy_recomputes);
+      report.ooc_hit_rate =
+          disk_touches > 0.0
+              ? static_cast<double>(spill_stats.lazy_spill_readmits) /
+                    disk_touches
+              : 0.0;
+      if (aplus_wall > 0.0) {
+        report.ooc_wall_ratio = spill_row.wall_s / aplus_wall;
+      }
+    }  // engine destroyed: its spill logs unlink themselves
+    struct rusage usage {};
+    if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+      report.ooc_peak_rss_kb = static_cast<uint64_t>(usage.ru_maxrss);
+    }
+    std::filesystem::remove(mhg_path, ec);
+    std::filesystem::remove_all(spill_dir, ec);
+  }
+
   // Serving scenario: the graph loaded into a MotifServer, then a mixed
   // workload of distinct count/profile queries replayed for several
   // rounds — round 0 is all cache misses, later rounds all hits, so the
@@ -883,6 +983,20 @@ void WriteJson(const Config& config, const std::vector<GraphReport>& graphs) {
                  static_cast<unsigned long long>(report.mem_lazy_recomputes),
                  report.mem_lazy_wall_ratio);
     std::fprintf(out,
+                 "      \"out_of_core\": {\"file_bytes\": %llu, "
+                 "\"budget_bytes\": %llu, \"spills\": %llu, "
+                 "\"readmits\": %llu, \"fallbacks\": %llu, "
+                 "\"disk_hit_rate\": %.4f, "
+                 "\"spill_vs_materialized_wall\": %.3f, "
+                 "\"peak_rss_kb\": %llu},\n",
+                 static_cast<unsigned long long>(report.ooc_file_bytes),
+                 static_cast<unsigned long long>(report.ooc_budget_bytes),
+                 static_cast<unsigned long long>(report.ooc_spills),
+                 static_cast<unsigned long long>(report.ooc_readmits),
+                 static_cast<unsigned long long>(report.ooc_fallbacks),
+                 report.ooc_hit_rate, report.ooc_wall_ratio,
+                 static_cast<unsigned long long>(report.ooc_peak_rss_kb));
+    std::fprintf(out,
                  "      \"serving\": {\"queries\": %llu, \"wall_s\": %.6f, "
                  "\"queries_per_s\": %.1f, \"hit_rate\": %.4f, "
                  "\"p50_us\": %.1f, \"p99_us\": %.1f},\n",
@@ -1004,6 +1118,7 @@ int Main(int argc, char** argv) {
                 "sliding %.0f windows/s (%llu evictions) | "
                 "ingest x%llu %.0f edges/s | "
                 "lazy a+ peak %.2f/%.2fMB, hit %.0f%%, wall %.2fx | "
+                "ooc %llu spills, disk hit %.0f%%, wall %.2fx | "
                 "serve %.0f q/s, hit %.0f%%, p99 %.0fus | "
                 "faults(1%%) %.0f->%.0f q/s, p99 %.0f->%.0fus, "
                 "%llu fired\n",
@@ -1020,6 +1135,8 @@ int Main(int argc, char** argv) {
                 report.mem_materialized_bytes / 1048576.0,
                 report.mem_lazy_hit_rate * 100.0,
                 report.mem_lazy_wall_ratio,
+                static_cast<unsigned long long>(report.ooc_spills),
+                report.ooc_hit_rate * 100.0, report.ooc_wall_ratio,
                 report.serve_queries_per_s, report.serve_hit_rate * 100.0,
                 report.serve_p99_us, report.faults_clean_qps,
                 report.faults_qps, report.faults_clean_p99_us,

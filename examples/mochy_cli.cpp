@@ -1,5 +1,8 @@
 // mochy_cli — command-line front end over the library, for working with
-// datasets on disk (the Benson et al. text format: one hyperedge per line).
+// datasets on disk. Two formats are accepted everywhere a dataset is
+// loaded (sniffed by magic bytes): the Benson et al. text format (one
+// hyperedge per line) and the binary ".mhg" container
+// (hypergraph/binary_format.h; `convert` switches between them).
 //
 // Usage:
 //   mochy_cli stats   <file>                      Table 2 statistics
@@ -7,6 +10,7 @@
 //                            [--seed S] [--threads N]
 //                            [--projection materialized|lazy|auto]
 //                            [--memory-budget BYTES[K|M|G]]
+//                            [--spill-dir DIR]
 //                                                 h-motif counts/estimates
 //                                                 via the MotifEngine;
 //                                                 A = exact|edge-sample|
@@ -77,6 +81,12 @@
 //   mochy_cli gen-trace <file> [--years N] [--scale X] [--seed S]
 //                                                 write a temporal
 //                                                 co-authorship trace
+//   mochy_cli convert <in> <out>                  re-encode a dataset:
+//                                                 out ending in .mhg writes
+//                                                 the mmap-able binary
+//                                                 container, anything else
+//                                                 the text format
+//                                                 (docs/STORAGE.md)
 //   mochy_cli serve   [--socket PATH | --port N] [--cache-budget BYTES[K|M|G]]
 //                     [--load NAME=FILE ...] [--max-connections N]
 //                     [--io-timeout MS]
@@ -129,6 +139,7 @@
 #include "common/parse.h"
 #include "gen/generators.h"
 #include "gen/temporal.h"
+#include "hypergraph/binary_format.h"
 #include "hypergraph/io.h"
 #include "hypergraph/stats.h"
 #include "hypergraph/temporal_trace.h"
@@ -166,6 +177,7 @@ struct Flags {
   WindowMode mode = WindowMode::kCumulative;
   size_t years = 33;
   std::string wal;  // stream: WAL path; empty = in-memory only
+  std::string spill_dir;  // count/sample: lazy disk tier; empty = off
   // serve/query
   std::string socket;                // unix-domain socket path
   int port = 0;                      // loopback TCP port (when no socket)
@@ -296,6 +308,8 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       flags->years = static_cast<size_t>(parsed.value());
     } else if (key == "--wal") {
       flags->wal = value;
+    } else if (key == "--spill-dir") {
+      flags->spill_dir = value;
     } else if (key == "--io-timeout") {
       auto parsed = ParseUint64InRange(value, 0, 86'400'000, "--io-timeout");
       if (!parsed.ok()) return BadFlag(key, parsed.status());
@@ -350,6 +364,8 @@ int Usage() {
                " <file> [flags]\n"
                "       mochy_cli stream <trace-file> [flags]\n"
                "       mochy_cli gen-trace <file> [flags]\n"
+               "       mochy_cli convert <in-file> <out-file> (out .mhg = "
+               "binary container, else text)\n"
                "       mochy_cli serve [--socket PATH | --port N] "
                "[--cache-budget B] [--load NAME=FILE ...] "
                "[--max-connections N] [--io-timeout MS]\n"
@@ -361,7 +377,8 @@ int Usage() {
                "flags: --algorithm exact|edge-sample|link-sample|weighted|auto "
                "--ratio R --samples N --seed S --threads N (0 = all cores)\n"
                "       count/sample: --projection materialized|lazy|auto "
-               "--memory-budget BYTES[K|M|G] (memory-bounded sampling)\n"
+               "--memory-budget BYTES[K|M|G] (memory-bounded sampling) "
+               "--spill-dir DIR (lazy disk tier, docs/STORAGE.md)\n"
                "       profile: --random K --sample-ratio R --epsilon E "
                "--null chung-lu|perturb\n"
                "       stream: --window W|sliding:W "
@@ -371,7 +388,34 @@ int Usage() {
   return 1;
 }
 
-Result<Hypergraph> Load(const char* path) { return LoadHypergraph(path); }
+// Every dataset-loading command accepts both on-disk formats: the magic
+// bytes pick the binary ".mhg" container or the text importer.
+Result<Hypergraph> Load(const char* path) { return LoadHypergraphAuto(path); }
+
+/// `convert <in> <out>`: re-encodes a dataset between the text format and
+/// the binary ".mhg" container. The input format is sniffed; the output
+/// format follows the output extension (".mhg" = binary, else text).
+int RunConvert(const char* in_path, const char* out_path) {
+  auto graph = Load(in_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  const std::string_view out = out_path;
+  const bool binary = out.size() >= 4 && out.substr(out.size() - 4) == ".mhg";
+  const Status saved = binary
+                           ? SaveHypergraphBinary(graph.value(), out_path)
+                           : SaveHypergraph(graph.value(), out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 2;
+  }
+  std::printf("converted %s -> %s (%s, %zu nodes, %zu edges, %llu pins)\n",
+              in_path, out_path, binary ? "binary" : "text",
+              graph.value().num_nodes(), graph.value().num_edges(),
+              static_cast<unsigned long long>(graph.value().num_pins()));
+  return 0;
+}
 
 int RunStats(const Hypergraph& graph, const Flags& flags) {
   const DatasetStats stats = ComputeStats(graph, flags.threads);
@@ -392,6 +436,7 @@ int RunEngine(const Hypergraph& graph, const Flags& flags) {
   options.seed = flags.seed;
   options.projection = flags.projection;
   options.memory_budget = flags.memory_budget;
+  options.spill_dir = flags.spill_dir;
   auto engine = MotifEngine::Create(graph, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
@@ -487,12 +532,12 @@ int RunPerEdge(const Hypergraph& graph, const Flags& flags) {
 
 int RunPredict(const char* history_path, const char* candidates_path,
                const Flags& flags) {
-  auto history = LoadHypergraph(history_path);
+  auto history = LoadHypergraphAuto(history_path);
   if (!history.ok()) {
     std::fprintf(stderr, "%s\n", history.status().ToString().c_str());
     return 2;
   }
-  auto candidates = LoadHypergraph(candidates_path);
+  auto candidates = LoadHypergraphAuto(candidates_path);
   if (!candidates.ok()) {
     std::fprintf(stderr, "%s\n", candidates.status().ToString().c_str());
     return 2;
@@ -930,6 +975,10 @@ int main(int argc, char** argv) {
   if (command == "predict") {
     if (argc < 4 || !ParseFlags(argc, argv, 4, &flags)) return Usage();
     return RunPredict(argv[2], argv[3], flags);
+  }
+  if (command == "convert") {
+    if (argc != 4) return Usage();
+    return RunConvert(argv[2], argv[3]);
   }
   // `sample` only changes the default algorithm; an explicit --algorithm
   // flag still wins.

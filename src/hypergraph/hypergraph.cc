@@ -64,6 +64,20 @@ size_t Hypergraph::TripleIntersectionSize(EdgeId a, EdgeId b, EdgeId c) const {
   return count;
 }
 
+Hypergraph AssembleHypergraphFromCsr(size_t num_nodes,
+                                     std::vector<uint64_t> edge_offsets,
+                                     std::vector<NodeId> edge_nodes,
+                                     std::vector<uint64_t> node_offsets,
+                                     std::vector<EdgeId> node_edges) {
+  Hypergraph graph;
+  graph.num_nodes_ = num_nodes;
+  graph.edge_offsets_ = std::move(edge_offsets);
+  graph.edge_nodes_ = std::move(edge_nodes);
+  graph.node_offsets_ = std::move(node_offsets);
+  graph.node_edges_ = std::move(node_edges);
+  return graph;
+}
+
 Status Hypergraph::Validate() const {
   if (edge_offsets_.empty() || edge_offsets_.front() != 0 ||
       edge_offsets_.back() != edge_nodes_.size()) {

@@ -76,6 +76,11 @@ class Hypergraph {
 
  private:
   friend class HypergraphBuilder;
+  friend Hypergraph AssembleHypergraphFromCsr(size_t num_nodes,
+                                              std::vector<uint64_t> edge_offsets,
+                                              std::vector<NodeId> edge_nodes,
+                                              std::vector<uint64_t> node_offsets,
+                                              std::vector<EdgeId> node_edges);
 
   size_t num_nodes_ = 0;
   std::vector<uint64_t> edge_offsets_ = {0};
@@ -83,6 +88,18 @@ class Hypergraph {
   std::vector<uint64_t> node_offsets_ = {0};
   std::vector<EdgeId> node_edges_;
 };
+
+/// Assembles a Hypergraph directly from prebuilt CSR arrays, bypassing
+/// HypergraphBuilder's sort/dedup passes. This is the loader-side twin of
+/// the builder, used by the binary container (hypergraph/binary_format.h)
+/// whose sections are the four arrays verbatim. The caller owns the
+/// invariants (sorted spans, monotone offsets, matching incidence
+/// directions); run Validate() on anything read from untrusted bytes.
+Hypergraph AssembleHypergraphFromCsr(size_t num_nodes,
+                                     std::vector<uint64_t> edge_offsets,
+                                     std::vector<NodeId> edge_nodes,
+                                     std::vector<uint64_t> node_offsets,
+                                     std::vector<EdgeId> node_edges);
 
 /// Size of the intersection of two sorted id spans.
 size_t SortedIntersectionSize(std::span<const NodeId> a,

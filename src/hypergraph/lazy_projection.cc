@@ -1,6 +1,12 @@
 #include "hypergraph/lazy_projection.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <system_error>
 #include <utility>
 
 #include "common/logging.h"
@@ -117,11 +123,28 @@ bool LazyProjection::TryGet(EdgeId e, std::vector<Neighbor>* out) {
   return true;
 }
 
+void LazyProjection::MaybeSpill(EdgeId e,
+                                std::span<const Neighbor> neighbors) {
+  if (!spill_hook_) return;
+  if (spill_hook_(e, neighbors)) {
+    ++stats_.spills;
+    stats_.spill_bytes += neighbors.size() * sizeof(Neighbor);
+  }
+}
+
 void LazyProjection::Admit(EdgeId e, std::span<const Neighbor> neighbors) {
-  if (options_.memory_budget_bytes == 0) return;
+  // Every path that leaves `e` non-resident offers it to the disk tier
+  // instead: the spill log re-serves what the RAM budget cannot hold.
+  if (options_.memory_budget_bytes == 0) {
+    MaybeSpill(e, neighbors);
+    return;
+  }
   if (memo_.find(e) != memo_.end()) return;
   const uint64_t bytes = LazyEntryBytes(neighbors.size());
-  if (bytes > options_.memory_budget_bytes) return;  // never fits
+  if (bytes > options_.memory_budget_bytes) {  // never fits
+    MaybeSpill(e, neighbors);
+    return;
+  }
   const uint64_t rank = RankOf(e, neighbors.size());
 
   // Rank policies decide admission before touching the memo: the
@@ -138,7 +161,10 @@ void LazyProjection::Admit(EdgeId e, std::span<const Neighbor> neighbors) {
          ++it) {
       reclaimable += memo_[it->second].bytes;
     }
-    if (reclaimable < bytes) return;  // newcomer loses
+    if (reclaimable < bytes) {  // newcomer loses
+      MaybeSpill(e, neighbors);
+      return;
+    }
   }
 
   // Free space per policy until the new entry fits.
@@ -189,6 +215,7 @@ void LazyProjection::Admit(EdgeId e, std::span<const Neighbor> neighbors) {
 void LazyProjection::Evict(EdgeId victim) {
   auto it = memo_.find(victim);
   MOCHY_DCHECK(it != memo_.end());
+  MaybeSpill(victim, it->second.neighbors);
   stats_.bytes_used -= it->second.bytes;
   ++stats_.evictions;
   switch (options_.policy) {
@@ -243,8 +270,34 @@ ConcurrentLazyProjection::Create(const Hypergraph& graph,
         " bytes per shard, below one entry (" +
         std::to_string(LazyEntryBytes(0)) + " bytes)");
   }
-  return std::unique_ptr<ConcurrentLazyProjection>(
+  std::unique_ptr<ConcurrentLazyProjection> projection(
       new ConcurrentLazyProjection(graph, degrees, options, num_shards));
+  if (!options.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.spill_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create spill directory " +
+                             options.spill_dir + ": " + ec.message());
+    }
+    // Unique log names even when several engines share one spill_dir in
+    // one process (e.g. BatchRunner items).
+    static std::atomic<uint64_t> instance_counter{0};
+    const uint64_t instance = instance_counter.fetch_add(1);
+    for (size_t s = 0; s < projection->shards_.size(); ++s) {
+      const std::string path = options.spill_dir + "/mochy_spill_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(instance) + "_shard" +
+                               std::to_string(s) + ".spill";
+      MOCHY_ASSIGN_OR_RETURN(projection->shards_[s]->spill,
+                             SpillLog::Create(path));
+      Shard* shard = projection->shards_[s].get();
+      shard->lazy.set_spill_hook(
+          [shard](EdgeId e, std::span<const Neighbor> neighbors) {
+            return shard->spill->Append(e, neighbors);
+          });
+    }
+  }
+  return projection;
 }
 
 ConcurrentLazyProjection::ConcurrentLazyProjection(
@@ -267,12 +320,26 @@ void ConcurrentLazyProjection::Neighborhood(
     EdgeId e, NeighborhoodBuilder& builder, std::vector<Neighbor>* out,
     LazyProjection::Stats* local_stats) {
   Shard& shard = *shards_[e % shards_.size()];
+  SpillLog::RecordRef spill_ref;
+  bool spilled = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.lazy.TryGet(e, out)) {
       ++local_stats->memo_hits;
       return;
     }
+    if (shard.spill != nullptr) spilled = shard.spill->Lookup(e, &spill_ref);
+  }
+  if (spilled) {
+    // Disk tier: a spilled extent is immutable once indexed, so the
+    // pread-and-verify runs outside the lock, like a computed miss.
+    if (shard.spill->ReadRecord(spill_ref, e, out)) {
+      ++local_stats->spill_readmits;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lazy.Admit(e, *out);
+      return;
+    }
+    ++local_stats->spill_fallbacks;  // corrupt/torn record: recompute
   }
   // Miss: compute outside the lock with the caller's scratch, then offer
   // the result to the shard (a racing worker may have admitted `e`
@@ -280,6 +347,7 @@ void ConcurrentLazyProjection::Neighborhood(
   builder.Compute(*graph_, e, out);
   ++local_stats->computations;
   std::lock_guard<std::mutex> lock(shard.mu);
+  if (spilled) shard.spill->Invalidate(e);  // make room for a fresh spill
   shard.lazy.Admit(e, *out);
 }
 
@@ -295,6 +363,8 @@ LazyProjection::Stats ConcurrentLazyProjection::shared_stats() const {
     total.bytes_used += s.bytes_used;
     total.evictions += s.evictions;
     total.peak_bytes += s.peak_bytes;
+    total.spills += s.spills;
+    total.spill_bytes += s.spill_bytes;
   }
   return total;
 }
@@ -306,6 +376,8 @@ LazyProjection::Stats MergeLazyRunStats(
   for (const LazyProjection::Stats& local : local_stats) {
     merged.memo_hits += local.memo_hits;
     merged.computations += local.computations;
+    merged.spill_readmits += local.spill_readmits;
+    merged.spill_fallbacks += local.spill_fallbacks;
   }
   return merged;
 }

@@ -28,11 +28,13 @@
 #define MOCHY_HYPERGRAPH_LAZY_PROJECTION_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +42,7 @@
 #include "common/status.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/projection.h"
+#include "hypergraph/spill_log.h"
 
 namespace mochy {
 
@@ -93,6 +96,14 @@ struct LazyProjectionOptions {
   /// recompute-everything. Set it when memoization is load-bearing for
   /// the caller's performance expectations.
   bool require_memoization = false;
+  /// When non-empty, enables the disk tier: neighborhoods that the byte
+  /// budget evicts (or declines to admit) are appended to per-shard
+  /// spill logs under this directory (see hypergraph/spill_log.h and
+  /// docs/STORAGE.md) and re-admitted from disk on the next touch
+  /// instead of recomputed. The logs are per-engine-lifetime scratch —
+  /// created truncated, unlinked on shutdown. Empty (the default)
+  /// disables spilling entirely; honored by ConcurrentLazyProjection.
+  std::string spill_dir;
 };
 
 /// Rejects misconfigurations: `require_memoization` with a budget below
@@ -160,6 +171,14 @@ class LazyProjection {
     uint64_t evictions = 0;     ///< memoized entries dropped
     uint64_t bytes_used = 0;    ///< current memo footprint
     uint64_t peak_bytes = 0;    ///< high-water memo footprint
+    // Disk-tier counters (0 unless a spill_dir is configured). The first
+    // two are memo-side (counted where the spill hook fires); the last
+    // two are caller-side like memo_hits, accumulated per worker by
+    // ConcurrentLazyProjection::Neighborhood.
+    uint64_t spills = 0;           ///< neighborhoods appended to spill logs
+    uint64_t spill_bytes = 0;      ///< neighbor payload bytes spilled
+    uint64_t spill_readmits = 0;   ///< served by re-admitting from disk
+    uint64_t spill_fallbacks = 0;  ///< spill read failed -> recomputed
 
     /// memo_hits / (memo_hits + computations); 0 when nothing was
     /// accessed.
@@ -168,6 +187,15 @@ class LazyProjection {
   /// Current statistics; hits/computations only count Neighborhood() and
   /// TryGet() traffic on this instance.
   const Stats& stats() const { return stats_; }
+
+  /// Called with the exact neighborhood whenever the budget pushes an
+  /// entry out of RAM: on eviction, and on every Admit() the policy
+  /// declines (never-fits, newcomer-outranked, or budget 0). Returns
+  /// true when a new spill record was appended; the projection then
+  /// counts it in stats(). Installed by ConcurrentLazyProjection when a
+  /// spill_dir is configured; runs under the caller's shard lock.
+  using SpillHook = std::function<bool(EdgeId, std::span<const Neighbor>)>;
+  void set_spill_hook(SpillHook hook) { spill_hook_ = std::move(hook); }
 
  private:
   struct Entry {
@@ -197,8 +225,12 @@ class LazyProjection {
 
   std::unique_ptr<NeighborhoodBuilder> builder_;
   std::vector<Neighbor> transient_;
+  SpillHook spill_hook_;  // null unless the disk tier is attached
 
   Stats stats_;
+
+  /// Fires the spill hook (if any) and accounts the spill in stats_.
+  void MaybeSpill(EdgeId e, std::span<const Neighbor> neighbors);
 };
 
 /// Thread-safe lazy projection for parallel samplers: the memo is split
@@ -216,23 +248,29 @@ class ConcurrentLazyProjection {
  public:
   /// Validating factory. `graph` and `degrees` (the wedge index used for
   /// admission scoring and wedge sampling) must outlive the projection.
-  /// `num_shards` 0 picks a default sized to the worker count.
+  /// `num_shards` 0 picks a default sized to the worker count. When
+  /// `options.spill_dir` is set the directory is created and one spill
+  /// log per shard is opened; filesystem failures surface as kIOError.
   static Result<std::unique_ptr<ConcurrentLazyProjection>> Create(
       const Hypergraph& graph, const ProjectedDegrees& degrees,
       const LazyProjectionOptions& options, size_t num_shards = 0);
 
   /// Copies the exact neighborhood of `e` into `*out` (sorted by id).
-  /// On a miss the neighborhood is computed with `builder` outside the
-  /// shard lock and offered to the shard's memo. `local_stats`
-  /// accumulates this caller's hits/computations; pass one per worker and
-  /// merge with shared_stats() afterwards.
+  /// On a RAM miss the shard's spill log (when configured) is probed
+  /// first — a verified record is re-admitted instead of recomputed; a
+  /// missing or corrupt record falls back to computing with `builder`
+  /// outside the shard lock, and the result is offered to the shard's
+  /// memo. `local_stats` accumulates this caller's hits/computations/
+  /// readmits/fallbacks; pass one per worker and merge with
+  /// shared_stats() afterwards.
   void Neighborhood(EdgeId e, NeighborhoodBuilder& builder,
                     std::vector<Neighbor>* out,
                     LazyProjection::Stats* local_stats);
 
   /// Memo-side statistics summed over shards: evictions, bytes resident,
-  /// peak bytes. Hits/computations are zero here — they live in the
-  /// per-worker Stats fed to Neighborhood().
+  /// peak bytes, spills/spill_bytes. Hits/computations (and the
+  /// caller-side readmit/fallback counters) are zero here — they live in
+  /// the per-worker Stats fed to Neighborhood().
   LazyProjection::Stats shared_stats() const;
 
   /// Number of memo shards.
@@ -242,6 +280,11 @@ class ConcurrentLazyProjection {
   struct Shard {
     mutable std::mutex mu;
     LazyProjection lazy;
+    // Disk tier: null unless options.spill_dir is set. The index
+    // (Append/Lookup/Invalidate) is guarded by `mu`; ReadRecord preads
+    // immutable extents outside the lock, mirroring how misses compute
+    // outside the lock.
+    std::unique_ptr<SpillLog> spill;
     explicit Shard(LazyProjection projection) : lazy(std::move(projection)) {}
   };
 
@@ -255,9 +298,10 @@ class ConcurrentLazyProjection {
 };
 
 /// Merges one sampler run's lazy statistics: the memo-side counters from
-/// `lazy.shared_stats()` (evictions, bytes resident, peak) plus the
-/// summed per-worker hit/recompute counters. The one merge rule both
-/// lazy kernels (mochy_a, mochy_aplus) report through.
+/// `lazy.shared_stats()` (evictions, bytes resident, peak, spills) plus
+/// the summed per-worker hit/recompute/readmit/fallback counters. The
+/// one merge rule both lazy kernels (mochy_a, mochy_aplus) report
+/// through.
 LazyProjection::Stats MergeLazyRunStats(
     const ConcurrentLazyProjection& lazy,
     std::span<const LazyProjection::Stats> local_stats);

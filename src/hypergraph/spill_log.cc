@@ -1,0 +1,194 @@
+#include "hypergraph/spill_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault.h"
+
+namespace mochy {
+
+namespace {
+
+constexpr size_t kRecordHeaderBytes = 8;  // u32 payload_len + u32 checksum
+constexpr size_t kNeighborWireBytes = 8;  // u32 edge + u32 weight
+// Guards the reader against a corrupt length prefix asking for an
+// absurd allocation; generous next to any real neighborhood.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+uint32_t Checksum32(const unsigned char* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+void PutU32(std::vector<unsigned char>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// pwrite() the whole buffer at `offset`, retrying partial writes.
+bool PwriteAll(int fd, const unsigned char* data, size_t len,
+               uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::pwrite(fd, data + done, len - done, static_cast<off_t>(offset + done));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool PreadAll(int fd, unsigned char* data, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::pread(fd, data + done, len - done, static_cast<off_t>(offset + done));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillLog>> SpillLog::Create(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create spill log " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<SpillLog>(new SpillLog(path, fd));
+}
+
+SpillLog::~SpillLog() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());  // scratch: one engine lifetime only
+  }
+}
+
+bool SpillLog::Append(EdgeId e, std::span<const Neighbor> neighbors) {
+  if (index_.find(e) != index_.end()) return false;  // identical bytes live
+
+  char key[64];
+  const int key_len =
+      std::snprintf(key, sizeof key, "spill##%" PRIu32 "##%zu\n",
+                    static_cast<uint32_t>(e), neighbors.size());
+
+  std::vector<unsigned char> payload;
+  payload.reserve(static_cast<size_t>(key_len) +
+                  neighbors.size() * kNeighborWireBytes);
+  payload.insert(payload.end(), key, key + key_len);
+  for (const Neighbor& n : neighbors) {
+    PutU32(&payload, n.edge);
+    PutU32(&payload, n.weight);
+  }
+
+  std::vector<unsigned char> record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, Checksum32(payload.data(), payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  size_t write_bytes = record.size();
+  const FaultAction fault = MOCHY_FAULT_POINT("spill.append");
+  if (fault.kind == FaultAction::Kind::kError) return false;  // spill dropped
+  if (fault.kind == FaultAction::Kind::kShortIo) {
+    // Torn write: only a prefix lands, but the index still points at the
+    // full extent — exactly the state a crash mid-append would leave.
+    // ReadRecord detects it by checksum and the caller recomputes.
+    write_bytes = std::min(write_bytes, fault.max_bytes);
+  }
+  if (!PwriteAll(fd_, record.data(), write_bytes, end_offset_)) return false;
+
+  index_[e] = RecordRef{end_offset_, static_cast<uint32_t>(record.size())};
+  end_offset_ += record.size();
+  return true;
+}
+
+bool SpillLog::Lookup(EdgeId e, RecordRef* ref) const {
+  const auto it = index_.find(e);
+  if (it == index_.end()) return false;
+  *ref = it->second;
+  return true;
+}
+
+void SpillLog::Invalidate(EdgeId e) { index_.erase(e); }
+
+bool SpillLog::ReadRecord(const RecordRef& ref, EdgeId expect,
+                          std::vector<Neighbor>* out) const {
+  if (ref.length < kRecordHeaderBytes ||
+      ref.length - kRecordHeaderBytes > kMaxPayloadBytes) {
+    return false;
+  }
+  std::vector<unsigned char> record(ref.length);
+
+  size_t read_bytes = record.size();
+  const FaultAction fault = MOCHY_FAULT_POINT("spill.read");
+  if (fault.kind == FaultAction::Kind::kError) return false;
+  if (fault.kind == FaultAction::Kind::kShortIo) {
+    read_bytes = std::min(read_bytes, fault.max_bytes);
+  }
+  if (!PreadAll(fd_, record.data(), read_bytes, ref.offset)) return false;
+  if (read_bytes < record.size()) return false;  // short read: torn record
+
+  const uint32_t payload_len = GetU32(record.data());
+  if (payload_len != ref.length - kRecordHeaderBytes) return false;
+  const unsigned char* payload = record.data() + kRecordHeaderBytes;
+  if (GetU32(record.data() + 4) != Checksum32(payload, payload_len)) {
+    return false;
+  }
+
+  // Parse the delimited key: "spill##<edge>##<count>\n".
+  const char* text = reinterpret_cast<const char*>(payload);
+  const void* newline = std::memchr(text, '\n', payload_len);
+  if (newline == nullptr) return false;
+  const size_t key_len =
+      static_cast<size_t>(static_cast<const char*>(newline) - text) + 1;
+  const std::string key(text, key_len);  // NUL-terminate for sscanf
+  uint32_t edge = 0;
+  size_t count = 0;
+  char trailer = 0;
+  if (std::sscanf(key.c_str(), "spill##%" SCNu32 "##%zu%c", &edge, &count,
+                  &trailer) != 3 ||
+      trailer != '\n' || edge != expect) {
+    return false;
+  }
+  if (payload_len - key_len != count * kNeighborWireBytes) return false;
+
+  out->clear();
+  out->reserve(count);
+  const unsigned char* cursor = payload + key_len;
+  for (size_t i = 0; i < count; ++i) {
+    Neighbor n;
+    n.edge = GetU32(cursor);
+    n.weight = GetU32(cursor + 4);
+    out->push_back(n);
+    cursor += kNeighborWireBytes;
+  }
+  return true;
+}
+
+}  // namespace mochy

@@ -64,10 +64,12 @@ struct BatchItem {
   /// failed generation is reported in the item's BatchItemResult::status.
   std::function<Result<Hypergraph>()> make;
   /// Per-item strategy, seed, sample budget, projection policy and memory
-  /// budget, … (engine.h). Projection policy and memory budget are
-  /// forwarded per item — one batch can mix materialized and
-  /// memory-bounded lazy items, and each lazy item's EngineStats carries
-  /// its hit rate and resident bytes. The batch scheduler owns the thread
+  /// budget, … (engine.h). Projection policy, memory budget and spill_dir
+  /// are forwarded per item — one batch can mix materialized and
+  /// memory-bounded lazy items (several lazy items may share one
+  /// spill_dir; each engine's logs are uniquely named scratch), and each
+  /// lazy item's EngineStats carries its hit rate, resident bytes and
+  /// spill/readmit counters. The batch scheduler owns the thread
   /// budget, so `options.num_threads` is overridden: 1 when the batch
   /// parallelizes across items, the full BatchOptions::num_threads budget
   /// when items run inline (single item, single worker, or far more

@@ -154,16 +154,26 @@ std::string EngineStats::ToString() const {
       AlgorithmName(algorithm), num_threads,
       static_cast<unsigned long long>(samples_used),
       static_cast<unsigned long long>(num_wedges), elapsed_seconds);
-  if (projection_policy == ProjectionPolicy::kLazy && written > 0 &&
-      static_cast<size_t>(written) < sizeof(buffer)) {
-    std::snprintf(buffer + written, sizeof(buffer) - written,
+  std::string text = buffer;
+  if (projection_policy == ProjectionPolicy::kLazy) {
+    std::snprintf(buffer, sizeof(buffer),
                   " projection=lazy hit-rate=%.2f recomputes=%llu "
                   "resident=%.1fMB",
                   lazy_hit_rate,
                   static_cast<unsigned long long>(lazy_recomputes),
                   static_cast<double>(projection_bytes) / 1048576.0);
+    text += buffer;
+    if (lazy_spills > 0 || lazy_spill_readmits > 0 ||
+        lazy_spill_fallbacks > 0) {
+      std::snprintf(buffer, sizeof(buffer),
+                    " spills=%llu readmits=%llu spill-fallbacks=%llu",
+                    static_cast<unsigned long long>(lazy_spills),
+                    static_cast<unsigned long long>(lazy_spill_readmits),
+                    static_cast<unsigned long long>(lazy_spill_fallbacks));
+      text += buffer;
+    }
   }
-  return buffer;
+  return text;
 }
 
 Result<MotifEngine> MotifEngine::Create(const Hypergraph& graph,
@@ -231,6 +241,7 @@ Result<MotifEngine> MotifEngine::Create(const Hypergraph& graph,
   LazyProjectionOptions lazy_options;
   lazy_options.memory_budget_bytes =
       options.memory_budget == 0 ? UINT64_MAX : options.memory_budget;
+  lazy_options.spill_dir = options.spill_dir;
   auto memo = ConcurrentLazyProjection::Create(graph, *engine.degrees_,
                                                lazy_options);
   if (!memo.ok()) return memo.status();
@@ -274,6 +285,7 @@ EngineOptions MotifEngine::Canonicalize(const EngineOptions& options) const {
   canonical.num_threads = 0;
   canonical.projection = ProjectionPolicy::kAuto;
   canonical.memory_budget = 0;
+  canonical.spill_dir.clear();  // disk tier never affects counts
   canonical.sampling_ratio = 0.0;
   if (canonical.algorithm == Algorithm::kExact) {
     // Exact counting ignores the sampling knobs, and its closed-form
@@ -422,6 +434,9 @@ Result<EngineResult> MotifEngine::Count(const EngineOptions& options) const {
     result.stats.lazy_recomputes = lazy_stats.computations;
     result.stats.lazy_evictions = lazy_stats.evictions;
     result.stats.lazy_hit_rate = lazy_stats.HitRate();
+    result.stats.lazy_spills = lazy_stats.spills;
+    result.stats.lazy_spill_readmits = lazy_stats.spill_readmits;
+    result.stats.lazy_spill_fallbacks = lazy_stats.spill_fallbacks;
   }
 
   if (options.estimate_variance && algorithm != Algorithm::kExact &&

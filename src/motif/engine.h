@@ -162,6 +162,15 @@ struct EngineOptions {
   /// the lazy memo keeps its resident bytes within the budget via the
   /// wedge-admission policy (hypergraph/lazy_projection.h).
   uint64_t memory_budget = 0;
+
+  /// Lazy path only: when non-empty, attaches the disk tier — evicted or
+  /// never-admitted neighborhoods are appended to per-shard spill logs
+  /// under this directory and re-admitted on touch instead of recomputed
+  /// (hypergraph/spill_log.h, docs/STORAGE.md). Counts stay bit-identical
+  /// at any budget; only speed and the spill statistics change. Ignored
+  /// by materialized engines. Canonicalize() zeroes it like the other
+  /// non-result-affecting fields.
+  std::string spill_dir;
 };
 
 /// Uniform run statistics, filled for every algorithm.
@@ -198,6 +207,16 @@ struct EngineStats {
   /// was materialized or touched no neighborhoods. Not deterministic
   /// under concurrency (counts are; see docs/MEMORY.md).
   double lazy_hit_rate = 0.0;
+  /// Disk tier only (EngineOptions::spill_dir): neighborhoods appended
+  /// to the spill logs, cumulative over the engine's lifetime.
+  uint64_t lazy_spills = 0;
+  /// Disk tier only: neighborhoods served this run by re-admitting a
+  /// spilled record instead of recomputing.
+  uint64_t lazy_spill_readmits = 0;
+  /// Disk tier only: spill-log reads that failed verification (torn or
+  /// corrupt records, injected faults) and fell back to recomputing.
+  /// Fallbacks never affect counts — only this counter and speed.
+  uint64_t lazy_spill_fallbacks = 0;
 
   std::string ToString() const;
 };

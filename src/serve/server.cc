@@ -16,6 +16,7 @@
 #include "common/parse.h"
 #include "common/thread_pool.h"
 #include "hypergraph/fingerprint.h"
+#include "hypergraph/binary_format.h"
 #include "hypergraph/io.h"
 #include "profile/significance.h"
 #include "profile/similarity.h"
@@ -216,7 +217,9 @@ Status MotifServer::LoadGraph(const std::string& name, Hypergraph graph) {
 
 Status MotifServer::LoadGraphFile(const std::string& name,
                                   const std::string& path) {
-  auto graph = LoadHypergraph(path);
+  // Accepts both on-disk formats; the magic bytes pick the binary
+  // ".mhg" container or the text importer.
+  auto graph = LoadHypergraphAuto(path);
   if (!graph.ok()) return graph.status();
   return LoadGraph(name, std::move(graph).value());
 }

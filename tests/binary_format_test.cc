@@ -1,0 +1,250 @@
+// Format layer of the out-of-core tier (hypergraph/binary_format.h):
+// text -> binary -> text round trips must be bit-identical across every
+// generator domain and adversarial random graphs; counts from an
+// mmap-loaded graph must be bit-identical to the text-loaded graph at
+// any thread count; and malformed containers (wrong magic, future
+// version, truncation, flipped section bytes) must be rejected with the
+// documented typed errors, never read as data.
+#include "hypergraph/binary_format.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "hypergraph/io.h"
+#include "motif/counts.h"
+#include "motif/engine.h"
+#include "tests/test_util.h"
+
+namespace mochy {
+namespace {
+
+using testing::CorruptFile;
+using testing::FlipFileByte;
+using testing::RandomHypergraph;
+using testing::ScopedTempDir;
+
+void ExpectSameGraph(const Hypergraph& a, const Hypergraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const auto ea = a.edge(e);
+    const auto eb = b.edge(e);
+    ASSERT_EQ(ea.size(), eb.size()) << "edge " << e;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      ASSERT_EQ(ea[i], eb[i]) << "edge " << e << " member " << i;
+    }
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto va = a.edges_of(v);
+    const auto vb = b.edges_of(v);
+    ASSERT_EQ(va.size(), vb.size()) << "node " << v;
+    for (size_t i = 0; i < va.size(); ++i) {
+      ASSERT_EQ(va[i], vb[i]) << "node " << v << " incidence " << i;
+    }
+  }
+}
+
+/// Saves `graph` as .mhg, loads it back, and checks full CSR equality
+/// plus text-level bit identity (text -> binary -> text).
+void RoundTrip(const Hypergraph& graph, const std::string& tag) {
+  SCOPED_TRACE(tag);
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path(tag + ".mhg");
+  ASSERT_TRUE(SaveHypergraphBinary(graph, path).ok());
+  auto loaded = LoadHypergraphBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameGraph(graph, loaded.value());
+  EXPECT_EQ(FormatHypergraph(graph), FormatHypergraph(loaded.value()));
+}
+
+TEST(BinaryFormatTest, RoundTripsEveryGeneratorDomain) {
+  for (const Domain domain :
+       {Domain::kCoauthorship, Domain::kContact, Domain::kEmail,
+        Domain::kTags, Domain::kThreads}) {
+    GeneratorConfig config = DefaultConfig(domain, 0.05);
+    config.seed = 11;
+    auto graph = GenerateDomainHypergraph(config);
+    ASSERT_TRUE(graph.ok());
+    RoundTrip(graph.value(), DomainName(domain));
+  }
+}
+
+TEST(BinaryFormatTest, RoundTripsSkewedAndDuplicateRandomGraphs) {
+  // Skewed: many tiny edges plus a few hubs; duplicate edges dropped by
+  // the builder before serialization, so both legs agree by contract.
+  RoundTrip(RandomHypergraph(40, 120, 1, 3, 21), "skewed_small_edges");
+  RoundTrip(RandomHypergraph(30, 60, 5, 12, 22), "skewed_large_edges");
+  RoundTrip(RandomHypergraph(10, 200, 1, 4, 23), "duplicate_heavy");
+}
+
+TEST(BinaryFormatTest, RoundTripsEmptyGraph) {
+  RoundTrip(Hypergraph(), "empty");
+}
+
+TEST(BinaryFormatTest, MappedViewsAreZeroCopyConsistent) {
+  const Hypergraph graph = RandomHypergraph(25, 50, 1, 6, 31);
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path("views.mhg");
+  ASSERT_TRUE(SaveHypergraphBinary(graph, path).ok());
+  auto mapped = MappedHypergraph::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const MappedHypergraph& m = mapped.value();
+  ASSERT_EQ(m.num_edges(), graph.num_edges());
+  ASSERT_EQ(m.num_nodes(), graph.num_nodes());
+  ASSERT_EQ(m.num_pins(), graph.num_pins());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto want = graph.edge(e);
+    const auto got = m.edge(e);
+    ASSERT_EQ(want.size(), got.size()) << "edge " << e;
+    for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(want[i], got[i]);
+  }
+  // The spans point into one contiguous mapping, not into copies.
+  const auto* base = reinterpret_cast<const unsigned char*>(
+      m.edge_offsets().data());
+  EXPECT_GT(reinterpret_cast<const unsigned char*>(m.node_edges().data()),
+            base);
+}
+
+TEST(BinaryFormatTest, MmapLoadedCountsBitIdenticalAcrossThreads) {
+  GeneratorConfig config = DefaultConfig(Domain::kCoauthorship, 0.08);
+  config.seed = 3;
+  const Hypergraph graph = GenerateDomainHypergraph(config).value();
+  ScopedTempDir tmp;
+  const std::string text_path = tmp.Path("counts.txt");
+  const std::string bin_path = tmp.Path("counts.mhg");
+  ASSERT_TRUE(SaveHypergraph(graph, text_path).ok());
+  ASSERT_TRUE(SaveHypergraphBinary(graph, bin_path).ok());
+  const Hypergraph from_text = LoadHypergraphAuto(text_path).value();
+  const Hypergraph from_binary = LoadHypergraphAuto(bin_path).value();
+
+  for (const Algorithm algorithm :
+       {Algorithm::kExact, Algorithm::kLinkSample}) {
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{0}}) {
+      EngineOptions options;
+      options.algorithm = algorithm;
+      options.num_threads = threads;
+      options.num_samples = 2000;
+      options.seed = 7;
+      const MotifCounts text_counts =
+          MotifEngine::Create(from_text, options)
+              .value()
+              .Count(options)
+              .value()
+              .counts;
+      const MotifCounts binary_counts =
+          MotifEngine::Create(from_binary, options)
+              .value()
+              .Count(options)
+              .value()
+              .counts;
+      for (int t = 1; t <= kNumHMotifs; ++t) {
+        ASSERT_EQ(text_counts[t], binary_counts[t])
+            << AlgorithmName(algorithm) << " threads=" << threads
+            << " motif " << t;
+      }
+    }
+  }
+}
+
+TEST(BinaryFormatTest, AutoLoadSniffsBothFormats) {
+  const Hypergraph graph = RandomHypergraph(15, 30, 1, 5, 41);
+  ScopedTempDir tmp;
+  // Deliberately misleading extensions: only the magic bytes decide.
+  const std::string text_path = tmp.Path("actually_text.mhg.txt");
+  const std::string bin_path = tmp.Path("actually_binary.dat");
+  ASSERT_TRUE(SaveHypergraph(graph, text_path).ok());
+  ASSERT_TRUE(SaveHypergraphBinary(graph, bin_path).ok());
+  EXPECT_FALSE(IsBinaryHypergraphFile(text_path));
+  EXPECT_TRUE(IsBinaryHypergraphFile(bin_path));
+  ExpectSameGraph(graph, LoadHypergraphAuto(text_path).value());
+  ExpectSameGraph(graph, LoadHypergraphAuto(bin_path).value());
+}
+
+TEST(BinaryFormatTest, RejectsBadMagic) {
+  const Hypergraph graph = RandomHypergraph(10, 20, 1, 4, 51);
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path("bad_magic.mhg");
+  ASSERT_TRUE(SaveHypergraphBinary(graph, path).ok());
+  ASSERT_TRUE(FlipFileByte(path, 0));
+  const auto result = LoadHypergraphBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsFutureVersion) {
+  const Hypergraph graph = RandomHypergraph(10, 20, 1, 4, 52);
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path("future_version.mhg");
+  ASSERT_TRUE(SaveHypergraphBinary(graph, path).ok());
+  const unsigned char version2[4] = {2, 0, 0, 0};
+  ASSERT_TRUE(CorruptFile(path, 4, version2));
+  const auto result = LoadHypergraphBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsTruncatedHeader) {
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path("truncated_header.mhg");
+  // A file that starts like a container but ends mid-header.
+  ASSERT_TRUE(WriteTextFile(path, std::string("MHG1\x01\x00\x00\x00", 8)).ok());
+  const auto result = MappedHypergraph::Open(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BinaryFormatTest, RejectsTruncatedSection) {
+  const Hypergraph graph = RandomHypergraph(20, 40, 1, 5, 53);
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path("truncated_section.mhg");
+  ASSERT_TRUE(SaveHypergraphBinary(graph, path).ok());
+  // Chop the last section short; the header still promises full length.
+  const auto full = ReadTextFile(path).value();
+  ASSERT_TRUE(WriteTextFile(path, full.substr(0, full.size() - 16)).ok());
+  const auto result = LoadHypergraphBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsCorruptSectionChecksum) {
+  const Hypergraph graph = RandomHypergraph(20, 40, 1, 5, 54);
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path("corrupt_section.mhg");
+  ASSERT_TRUE(SaveHypergraphBinary(graph, path).ok());
+  // Flip one payload byte well past the 144-byte header.
+  ASSERT_TRUE(FlipFileByte(path, 160));
+  const auto result = LoadHypergraphBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsCorruptHeaderChecksum) {
+  const Hypergraph graph = RandomHypergraph(20, 40, 1, 5, 55);
+  ScopedTempDir tmp;
+  const std::string path = tmp.Path("corrupt_header.mhg");
+  ASSERT_TRUE(SaveHypergraphBinary(graph, path).ok());
+  // Scribble over a count field; the header checksum must catch it.
+  ASSERT_TRUE(FlipFileByte(path, 17));
+  const auto result = LoadHypergraphBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, MissingFileIsIOError) {
+  const auto result = LoadHypergraphBinary("/nonexistent/dir/graph.mhg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_FALSE(IsBinaryHypergraphFile("/nonexistent/dir/graph.mhg"));
+}
+
+}  // namespace
+}  // namespace mochy

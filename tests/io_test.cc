@@ -2,9 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <filesystem>
-
 #include "tests/test_util.h"
 
 namespace mochy {
@@ -69,13 +66,12 @@ TEST(IoTest, FormatThenParseRoundTrips) {
 
 TEST(IoTest, SaveThenLoadRoundTrips) {
   const Hypergraph original = testing::RandomHypergraph(20, 25, 1, 5, 9);
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "mochy_io_test.txt").string();
+  const testing::ScopedTempDir tmp;
+  const std::string path = tmp.Path("io_round_trip.txt");
   ASSERT_TRUE(SaveHypergraph(original, path).ok());
   const Hypergraph loaded = LoadHypergraph(path).value();
   EXPECT_EQ(loaded.num_edges(), original.num_edges());
   EXPECT_EQ(loaded.num_pins(), original.num_pins());
-  std::remove(path.c_str());
 }
 
 TEST(IoTest, LoadMissingFileFails) {

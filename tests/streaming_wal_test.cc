@@ -26,9 +26,14 @@
 namespace mochy {
 namespace {
 
+// All WAL scratch lives in one ScopedTempDir (tests/test_util.h), so a
+// failing test cannot leak /tmp files; the per-call signatures are kept
+// so the many call sites read unchanged.
 std::string TempWalPath(const std::string& name) {
-  return "/tmp/mochy_wal_test_" + std::to_string(::getpid()) + "_" + name +
-         ".wal";
+  // One static fixture, removed at (parent) process exit; the forked
+  // kill-recovery children only ever _exit, so they never destroy it.
+  static testing::ScopedTempDir dir("mochy_wal");
+  return dir.Path(name + ".wal");
 }
 
 void RemoveWalFiles(const std::string& path) {

@@ -1,14 +1,21 @@
 // Shared test helpers: an independent brute-force h-motif counter (direct
 // set algebra over all O(|E|^3) triples, no projected graph, no
 // inclusion-exclusion), small random-hypergraph generators for
-// property-style sweeps, and a seeded add/remove/query schedule
-// generator for fuzzing dynamic engines (RandomDynamicSchedule).
+// property-style sweeps, a seeded add/remove/query schedule generator
+// for fuzzing dynamic engines (RandomDynamicSchedule), and filesystem
+// fixtures for I/O tests (ScopedTempDir, CorruptFile).
 #ifndef MOCHY_TESTS_TEST_UTIL_H_
 #define MOCHY_TESTS_TEST_UTIL_H_
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
+#include <filesystem>
 #include <set>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,6 +25,75 @@
 #include "motif/pattern.h"
 
 namespace mochy::testing {
+
+/// RAII temp directory for I/O tests: a uniquely named directory under
+/// the system temp root, recursively removed on destruction. Path(name)
+/// joins a file name onto it, so tests never hand-build /tmp paths (or
+/// leak files when an assertion fails before cleanup).
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "mochy_test") {
+    static int counter = 0;
+    const std::filesystem::path base =
+        std::filesystem::temp_directory_path() /
+        (prefix + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++));
+    std::filesystem::create_directories(base);
+    dir_ = base.string();
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ~ScopedTempDir() {
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// The directory itself.
+  const std::string& dir() const { return dir_; }
+  /// `name` joined onto the directory.
+  std::string Path(const std::string& name) const {
+    return (std::filesystem::path(dir_) / name).string();
+  }
+
+ private:
+  std::string dir_;
+};
+
+/// Overwrites `bytes.size()` bytes of the file at `path` starting at
+/// `offset` — the corruption primitive for format/recovery tests (flip a
+/// checksum, tear a record, scribble over a section). Returns false when
+/// the file cannot be opened or is shorter than offset + bytes (a
+/// corruption that silently missed its target would make a test pass
+/// vacuously).
+inline bool CorruptFile(const std::string& path, uint64_t offset,
+                        std::span<const unsigned char> bytes) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || offset + bytes.size() > size) return false;
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  bool ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
+
+/// XORs one byte of the file at `path` with `mask` — the minimal
+/// guaranteed-to-change corruption (writing a fixed value could be a
+/// no-op if the byte already held it).
+inline bool FlipFileByte(const std::string& path, uint64_t offset,
+                         unsigned char mask = 0xFF) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  unsigned char byte = 0;
+  bool ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+            std::fread(&byte, 1, 1, f) == 1;
+  byte ^= mask;
+  ok = ok && std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+       std::fwrite(&byte, 1, 1, f) == 1;
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
 
 /// Region cardinalities of a triple computed by direct set operations.
 struct Regions {

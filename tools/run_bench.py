@@ -155,7 +155,22 @@ def main() -> int:
         cmd += ["--threads", str(args.threads)]
     if args.repeat is not None:
         cmd += ["--repeat", str(args.repeat)]
-    run(cmd)
+    try:
+        run(cmd)
+    except subprocess.CalledProcessError as error:
+        # The harness writes its JSON only at the end, so a FATAL
+        # mid-scenario (e.g. a bit-identity check tripping) would leave
+        # no artifact for CI to upload. Flush a marker report instead so
+        # the uploaded file says which invocation died and how.
+        out_path.write_text(json.dumps({
+            "schema": "mochy-bench-v1",
+            "failed": True,
+            "exit_code": error.returncode,
+            "command": [str(c) for c in error.cmd],
+        }, indent=2) + "\n")
+        print(f"error: bench_report exited with {error.returncode}; "
+              f"wrote failure marker to {out_path}")
+        return error.returncode or 1
 
     fresh = json.loads(out_path.read_text())
     for graph in fresh.get("graphs", []):
@@ -194,6 +209,17 @@ def main() -> int:
                   f"hit rate {memory['lazy_hit_rate'] * 100:.0f}%, "
                   f"wall {memory['lazy_vs_materialized_wall']:.2f}x "
                   f"of materialized")
+        ooc = graph.get("out_of_core")
+        if ooc:
+            kib = 1024
+            print(f"{graph['name']}: out-of-core a+ from a "
+                  f"{ooc['file_bytes'] / kib:.0f}KiB .mhg at budget "
+                  f"{ooc['budget_bytes'] / kib:.0f}KiB: {ooc['spills']} "
+                  f"spills, disk hit rate {ooc['disk_hit_rate'] * 100:.0f}% "
+                  f"({ooc['readmits']} readmits, {ooc['fallbacks']} "
+                  f"fallbacks), wall "
+                  f"{ooc['spill_vs_materialized_wall']:.2f}x of "
+                  f"materialized, peak RSS {ooc['peak_rss_kb'] / kib:.1f}MiB")
         serving = graph.get("serving")
         if serving:
             print(f"{graph['name']}: serving {serving['queries_per_s']:.0f} "
